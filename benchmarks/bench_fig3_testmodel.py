@@ -1,0 +1,73 @@
+"""FIG3A/FIG3B: structure and abstraction sequence of the DLX test
+model (paper Figure 3).
+
+Regenerates:
+
+* Figure 3(a): the initial abstract model's interface inventory --
+  stage controllers, interlock unit, branch-select status input,
+  instruction-word input, 160 state elements, 32 outputs;
+* Figure 3(b): the six abstraction steps with latch counts (the
+  paper's 160 -> 118 -> 110 -> 86 -> 54 -> 46 -> 22 against ours).
+"""
+
+from conftest import emit
+
+from repro.dlx.control import build_control_netlist
+from repro.dlx.testmodel import derive_test_model
+
+PAPER_SEQUENCE = (160, 118, 110, 86, 54, 46, 22)
+
+
+def test_fig3a_initial_model_structure(benchmark):
+    net = benchmark(build_control_netlist)
+    regs = set(net.register_names)
+    rows = [
+        f"latches={net.latch_count()}  inputs={net.input_count()}  "
+        f"outputs={net.output_count()}   (paper: 160 latches, 41 PIs, "
+        f"32 POs)",
+    ]
+    inventory = {
+        "pipeline instruction registers": sum(
+            1 for r in regs if r.split("[")[0].split("_")[0] in
+            ("id", "ex", "mem", "wb") and not r.startswith("v_")
+        ),
+        "stage valid bits": sum(1 for r in regs if r.startswith("v_")),
+        "fetch controller": sum(1 for r in regs if r.startswith("fctl")),
+        "stage controllers": sum(
+            1 for r in regs if r.startswith(("dctl", "ectl", "mctl", "wctl"))
+        ),
+        "interlock unit": sum(1 for r in regs if r.startswith("il_")),
+        "PSW shadow": sum(1 for r in regs if r.startswith("psw")),
+        "output sync latches": sum(1 for r in regs if r.startswith("q_")),
+    }
+    for group, count in inventory.items():
+        rows.append(f"  {group:<32} {count:>4}")
+    emit("FIG3A: initial DLX abstract test model", rows)
+    assert net.latch_count() == 160
+    assert net.output_count() == 32
+    assert "data_zero" in net.inputs  # the branch-select status input
+    assert any(i.startswith("in_op") for i in net.inputs)
+    assert sum(inventory.values()) == 160
+
+
+def test_fig3b_abstraction_sequence(benchmark):
+    trail = benchmark.pedantic(derive_test_model, rounds=1, iterations=1)
+    counts = [net.latch_count() for _label, net in trail]
+    rows = [
+        f"{'step':<44} {'ours':>6} {'paper':>6}",
+    ]
+    for (label, net), paper in zip(trail, PAPER_SEQUENCE):
+        rows.append(f"{label:<44} {net.latch_count():>6} {paper:>6}")
+    ratio_ours = counts[0] / counts[-1]
+    ratio_paper = PAPER_SEQUENCE[0] / PAPER_SEQUENCE[-1]
+    rows.append(
+        f"{'total reduction factor':<44} {ratio_ours:>5.1f}x "
+        f"{ratio_paper:>5.1f}x"
+    )
+    emit("FIG3B: test-model abstraction sequence", rows)
+    # Shape: same number of steps, strictly decreasing, same start,
+    # substantial total reduction.
+    assert len(counts) == len(PAPER_SEQUENCE)
+    assert counts[0] == PAPER_SEQUENCE[0] == 160
+    assert all(a > b for a, b in zip(counts, counts[1:]))
+    assert ratio_ours >= 2.5

@@ -1,0 +1,71 @@
+"""Shared, session-cached artifacts for the benchmark suite.
+
+Several experiments need the same expensive objects (the Figure 3(b)
+trail, extracted and minimized tour models, transition tours and their
+concrete conversions).  Building them once per session keeps the
+benchmark suite's wall-clock dominated by the measurements themselves.
+
+Run the suite with ``pytest benchmarks/ --benchmark-only -s`` to see
+the reproduced tables/figures printed alongside the timings.
+"""
+
+import pytest
+
+from repro.dlx.isa import Op
+from repro.dlx.testmodel import (
+    build_tour_model,
+    derive_test_model,
+    minimize_tour_model,
+)
+from repro.tour import transition_tour
+from repro.validation import fill_inputs
+
+MEM_OPCODES = (Op.ADD, Op.LW, Op.BEQZ, Op.NOP)
+ALT_OPCODES = (Op.ADDI, Op.SW, Op.JAL, Op.BEQZ, Op.NOP)
+
+
+@pytest.fixture(scope="session")
+def fig3b_trail():
+    """The Figure 3(b) abstraction trail [(label, netlist), ...]."""
+    return derive_test_model()
+
+
+@pytest.fixture(scope="session")
+def mem_model():
+    """Minimized instruction-class model: loads/hazards/branches."""
+    return minimize_tour_model(build_tour_model(opcodes=MEM_OPCODES))
+
+
+@pytest.fixture(scope="session")
+def alt_model():
+    """Minimized instruction-class model: stores/PSW/linkage."""
+    return minimize_tour_model(build_tour_model(opcodes=ALT_OPCODES))
+
+
+@pytest.fixture(scope="session")
+def mem_tour(mem_model):
+    return transition_tour(mem_model.machine, method="greedy")
+
+
+@pytest.fixture(scope="session")
+def alt_tour(alt_model):
+    return transition_tour(alt_model.machine, method="greedy")
+
+
+@pytest.fixture(scope="session")
+def mem_test(mem_model, mem_tour):
+    return fill_inputs(mem_model.concrete_vectors(mem_tour.inputs))
+
+
+@pytest.fixture(scope="session")
+def alt_test(alt_model, alt_tour):
+    return fill_inputs(alt_model.concrete_vectors(alt_tour.inputs))
+
+
+def emit(title, lines):
+    """Print a reproduced table with a recognizable banner."""
+    print()
+    print(f"==== {title} " + "=" * max(1, 60 - len(title)))
+    for line in lines:
+        print(line)
+    print("=" * 66)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Coverage-criteria study: state tours vs transition tours vs random.
+
+The related work measured either state coverage (Iwashita et al.) or
+transition coverage (Ho et al.); the paper's contribution is relating
+transition coverage to *error* coverage.  This study makes the
+three-way comparison concrete on several machines:
+
+* test-set length;
+* state/transition coverage saturation;
+* error coverage over the full single-fault population, split into
+  output errors and transfer errors.
+
+Run:  python examples/coverage_study.py
+"""
+
+from repro.core.coverage import coverage_profile
+from repro.faults import compare_test_sets, format_comparison
+from repro.models import (
+    alternating_bit_sender,
+    figure2_fragment,
+    serial_adder,
+    traffic_light,
+    vending_machine,
+)
+from repro.tour import random_tour, state_tour, transition_tour
+
+
+def study(machine) -> None:
+    print(f"== {machine.name}: {len(machine)} states, "
+          f"{machine.num_transitions()} transitions ==")
+    tour = transition_tour(machine, method="cpp")
+    walk = state_tour(machine)
+    rand = random_tour(machine, len(tour), seed=5)
+
+    rows = compare_test_sets(
+        machine,
+        [
+            ("state", walk.inputs),
+            ("random", rand.inputs),
+            ("tour", tour.inputs),
+        ],
+    )
+    print(format_comparison(rows))
+
+    profile = coverage_profile(machine, tour.inputs)
+    half = next(
+        step for step, _s, t in profile if t >= 0.5
+    )
+    print(
+        f"tour saturation: 50% of transitions after {half} steps, "
+        f"100% after {len(profile)}"
+    )
+    print()
+
+
+def main() -> None:
+    for machine in (
+        vending_machine(),
+        traffic_light(),
+        serial_adder(),
+        alternating_bit_sender(),
+        figure2_fragment()[0],
+    ):
+        study(machine)
+    print(
+        "Shape: state tours are short but leave transfer errors "
+        "untested; random walks of tour length lag on both error "
+        "classes; transition tours dominate at equal length -- the "
+        "relation between coverage measure and error classes the paper "
+        "formalizes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Figure 2 of the paper, executable: why bare transition tours are
+not complete, and the two classical repairs.
+
+The fragment has a transfer error on the transition ``2 --a--> 3``
+(landing in 3' instead): following it with ``b`` exposes the error
+(different outputs), following it with ``c`` hides it forever (the
+faulty run re-converges).  A transition tour is free to pick either
+continuation, so completeness depends on the model's
+forall-k-distinguishability -- which this model lacks, with (3, 3')
+as the residual pair.
+
+Repairs demonstrated:
+
+* **Requirement 5** -- make the state observable: enrich outputs with
+  the state component; the model becomes forall-1-distinguishable and
+  every tour is complete (Theorem 1).
+* **Conformance testing** -- append UIO confirmations after each
+  transition (Aho-Dahbura checking tour): longer test set, but no
+  distinguishability hypothesis needed.
+
+Run:  python examples/figure2_limitation.py
+"""
+
+from repro.core import analyze_forall_k, observe_state_component
+from repro.core.requirements import RequirementResult
+from repro.core.theorems import theorem1_certificate
+from repro.faults import certified_tour_campaign, detect_fault, run_campaign
+from repro.models import figure2_fragment
+from repro.tour import checking_tour, transition_tour
+
+
+def main() -> None:
+    model, fault = figure2_fragment()
+    print(f"model: {model}")
+    print(f"the Figure 2 transfer error: {fault}")
+    print()
+
+    # --- the limitation ------------------------------------------------
+    report = analyze_forall_k(model)
+    print(
+        f"forall-k-distinguishability: holds={report.holds}; "
+        f"residual pairs: {sorted(report.residual_pairs, key=repr)}"
+    )
+    for method in ("cpp", "greedy"):
+        tour = transition_tour(model, method=method)
+        detection = detect_fault(model, fault, tour.inputs)
+        print(
+            f"  {method:>6} tour ({len(tour)} steps): transfer error "
+            f"{'DETECTED' if detection.detected else 'ESCAPED'}"
+        )
+    campaign = run_campaign(model, transition_tour(model).inputs)
+    print(f"  full fault population under the cpp tour:\n{campaign}")
+    print()
+
+    # --- repair 1: observe the state (Requirement 5) -------------------
+    observable = observe_state_component(model, lambda s: s)
+    cert = theorem1_certificate(
+        observable,
+        RequirementResult("R1", True, (), "outputs carry the state"),
+    )
+    print("repair 1 (observe interaction state):")
+    print(cert.explain())
+    tour = transition_tour(observable)
+    result = certified_tour_campaign(observable, tour.inputs, cert)
+    print(f"  {result}")
+    print()
+
+    # --- repair 2: checking tour (UIO confirmation) --------------------
+    check = checking_tour(model)
+    detection = detect_fault(model, fault, check.inputs)
+    plain_len = len(transition_tour(model))
+    print(
+        f"repair 2 (UIO checking tour): {len(check)} steps "
+        f"(vs {plain_len} plain), transfer error "
+        f"{'DETECTED' if detection.detected else 'ESCAPED'}"
+    )
+    campaign = run_campaign(model, check.inputs)
+    print(f"  {campaign}")
+
+
+if __name__ == "__main__":
+    main()

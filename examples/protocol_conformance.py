@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Protocol conformance testing with transition tours and UIOs.
+
+Transition tours entered hardware validation from protocol
+conformance testing (Section 3 cites Dahbura/Sabnani/Uyar); this
+example runs the classical flow on the alternating-bit protocol
+sender:
+
+* compute UIO sequences for every state;
+* check the classical sufficient condition (an input producing a
+  unique output and a self-loop in every state);
+* build three test sets -- plain tour, UIO checking tour, random
+  walk -- and compare their error coverage over the full single-fault
+  population of the protocol machine.
+
+Run:  python examples/protocol_conformance.py
+"""
+
+from repro.faults import compare_test_sets, format_comparison
+from repro.models import alternating_bit_sender
+from repro.tour import (
+    all_uio_sequences,
+    checking_tour,
+    has_distinguishing_input,
+    random_tour,
+    transition_tour,
+)
+
+
+def main() -> None:
+    protocol = alternating_bit_sender()
+    print(f"machine under test: {protocol}")
+    print()
+
+    print("UIO sequences (unique input/output signatures per state):")
+    for state, seq in all_uio_sequences(protocol, max_len=6).items():
+        rendered = " ".join(map(str, seq)) if seq else "(none)"
+        print(f"  {state:>10}: {rendered}")
+    status = has_distinguishing_input(protocol)
+    print(
+        f"classical single-input condition "
+        f"(self-looping status input): "
+        f"{status if status else 'not satisfied'}"
+    )
+    print()
+
+    plain = transition_tour(protocol, method="cpp")
+    checking = checking_tour(protocol)
+    random_short = random_tour(protocol, len(plain), seed=11)
+    random_long = random_tour(protocol, 4 * len(plain), seed=11)
+
+    rows = compare_test_sets(
+        protocol,
+        [
+            ("tour", plain.inputs),
+            ("checking", checking.inputs),
+            (f"rand x1", random_short.inputs),
+            (f"rand x4", random_long.inputs),
+        ],
+    )
+    print("error coverage over the full single-fault population:")
+    print(format_comparison(rows))
+    print()
+    print(
+        "The checking tour pays a longer test sequence for guaranteed "
+        "transfer-error coverage; random walks of equal length leave "
+        "a tail of undetected faults."
+    )
+
+
+if __name__ == "__main__":
+    main()

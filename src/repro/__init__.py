@@ -1,0 +1,100 @@
+"""repro: coverage-driven validation via transition tours on test models.
+
+A production-quality reproduction of Gupta, Malik, Ashar,
+"Toward Formalizing a Validation Methodology Using Simulation
+Coverage" (DAC 1997).
+
+The library has four layers:
+
+* :mod:`repro.core` -- Mealy machines, the output/transfer error model,
+  forall-k-distinguishability, homomorphic abstraction, the paper's
+  Requirements 1-5 and Theorems 1-3 as executable checks.
+* :mod:`repro.tour` -- transition-tour test-set generation (Chinese
+  postman, greedy, UIO-based checking tours) plus baselines.
+* :mod:`repro.bdd` / :mod:`repro.rtl` -- the substrates: an ROBDD
+  engine for implicit state traversal and a bit-level synchronous
+  netlist layer with FSM extraction and abstraction transforms.
+* :mod:`repro.dlx` / :mod:`repro.validation` / :mod:`repro.faults` --
+  the case study: a pipelined DLX processor, its control-only test
+  model, checkpointed co-simulation against the ISA-level
+  specification, and fault-injection campaigns.
+
+Quickstart::
+
+    from repro import MealyMachine, transition_tour, run_campaign
+
+    m = MealyMachine.from_transitions("idle", [
+        ("idle", "go", "start", "busy"),
+        ("busy", "go", "again", "busy"),
+        ("busy", "stop", "done", "idle"),
+        ("idle", "stop", "nop", "idle"),
+    ])
+    tour = transition_tour(m)           # covers every transition
+    result = run_campaign(m, tour.inputs)
+    print(result)                        # error coverage of the tour
+"""
+
+from .core import (
+    CompletenessCertificate,
+    CoverageReport,
+    MealyMachine,
+    NondetMealyMachine,
+    OutputError,
+    TransferError,
+    Transition,
+    analyze_forall_k,
+    check_no_masking,
+    check_unique_outputs,
+    check_uniform_output_errors,
+    is_transition_tour,
+    minimize,
+    observe_state_component,
+    project_vars,
+    quotient,
+    theorem1_certificate,
+    theorem3_certificate,
+    transition_coverage,
+)
+from .faults import (
+    CampaignResult,
+    all_single_faults,
+    certified_tour_campaign,
+    compare_test_sets,
+    detect_fault,
+    run_campaign,
+)
+from .tour import Tour, checking_tour, state_tour, transition_tour
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignResult",
+    "CompletenessCertificate",
+    "CoverageReport",
+    "MealyMachine",
+    "NondetMealyMachine",
+    "OutputError",
+    "Tour",
+    "TransferError",
+    "Transition",
+    "all_single_faults",
+    "analyze_forall_k",
+    "certified_tour_campaign",
+    "check_no_masking",
+    "check_unique_outputs",
+    "check_uniform_output_errors",
+    "checking_tour",
+    "compare_test_sets",
+    "detect_fault",
+    "is_transition_tour",
+    "minimize",
+    "observe_state_component",
+    "project_vars",
+    "quotient",
+    "run_campaign",
+    "state_tour",
+    "theorem1_certificate",
+    "theorem3_certificate",
+    "transition_coverage",
+    "transition_tour",
+]

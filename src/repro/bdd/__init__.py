@@ -1,0 +1,36 @@
+"""ROBDD engine and implicit state-space traversal."""
+
+from .boolexpr import CompileError, compile_expr
+from .distinguish import (
+    SymbolicForallKReport,
+    analyze_forall_k_symbolic,
+    distinguishability_fsm,
+)
+from .manager import FALSE, TRUE, BDDError, BDDManager
+from .ordering import force_order, hyperedges, total_span
+from .reachability import (
+    ReachabilityResult,
+    reachable_states,
+    traversal_statistics,
+)
+from .symbolic_fsm import SymbolicFSM, from_netlist
+
+__all__ = [
+    "BDDError",
+    "BDDManager",
+    "CompileError",
+    "FALSE",
+    "ReachabilityResult",
+    "SymbolicFSM",
+    "SymbolicForallKReport",
+    "analyze_forall_k_symbolic",
+    "distinguishability_fsm",
+    "TRUE",
+    "compile_expr",
+    "force_order",
+    "hyperedges",
+    "total_span",
+    "from_netlist",
+    "reachable_states",
+    "traversal_statistics",
+]

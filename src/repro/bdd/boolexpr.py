@@ -1,0 +1,63 @@
+"""Compilation of RTL expression trees into BDDs.
+
+Bridges :mod:`repro.rtl.expr` (syntactic combinational logic) and
+:mod:`repro.bdd.manager` (canonical function representation).  Used by
+the symbolic FSM encoder to turn next-state and output expressions
+into the transition-relation conjuncts of implicit traversal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..rtl.expr import And, Const, Expr, Mux, Not, Or, Var, Xor
+from .manager import BDDManager
+
+
+class CompileError(Exception):
+    """Raised on unknown expression nodes or unmapped variables."""
+
+
+def compile_expr(
+    expr: Expr,
+    manager: BDDManager,
+    var_map: Optional[Mapping[str, str]] = None,
+    cache: Optional[Dict[Expr, int]] = None,
+) -> int:
+    """Compile an expression tree to a BDD node.
+
+    ``var_map`` renames expression variables to manager variables
+    (e.g. register name -> current-state variable name); unmapped
+    names are used as-is.  All referenced manager variables must be
+    registered beforehand so the global variable order is under the
+    caller's control.
+    """
+    names = var_map or {}
+    memo: Dict[Expr, int] = cache if cache is not None else {}
+
+    def walk(e: Expr) -> int:
+        hit = memo.get(e)
+        if hit is not None:
+            return hit
+        if isinstance(e, Const):
+            result = 1 if e.value else 0
+        elif isinstance(e, Var):
+            result = manager.var(names.get(e.name, e.name))
+        elif isinstance(e, Not):
+            result = manager.apply_not(walk(e.arg))
+        elif isinstance(e, And):
+            result = manager.apply_and(*(walk(a) for a in e.args))
+        elif isinstance(e, Or):
+            result = manager.apply_or(*(walk(a) for a in e.args))
+        elif isinstance(e, Xor):
+            result = manager.apply_xor(walk(e.left), walk(e.right))
+        elif isinstance(e, Mux):
+            result = manager.ite(
+                walk(e.sel), walk(e.if_true), walk(e.if_false)
+            )
+        else:
+            raise CompileError(f"unknown expression node {type(e).__name__}")
+        memo[e] = result
+        return result
+
+    return walk(expr)

@@ -1,0 +1,255 @@
+"""Symbolic forall-k-distinguishability (Definition 5 at BDD scale).
+
+The explicit analysis (:func:`repro.core.distinguish.analyze_forall_k`)
+enumerates state *pairs* -- quadratic in states, hopeless for models
+with 10^5+ states.  This module runs the same fixed point implicitly:
+
+    Eq_0(x, x')  =  true
+    Eq_j(x, x')  =  exists i, y, y'.
+                       V(x, i) and V(x', i)
+                       and  AND_o ( o(x, i) <-> o(x', i) )
+                       and  T(x, i, y) and T(x', i, y')
+                       and  Eq_{j-1}(y, y')
+
+over a doubled variable space (a primed copy of every state
+variable).  ``Eq_j`` is the set of state pairs joined by some
+length-``j`` identical-output input word; the machine is
+forall-k-distinguishable over the reachable set iff the fixed point
+intersected with Reach x Reach is the diagonal.
+
+The per-iteration work is a relational product over ~4 x latches + inputs
+variables; like the reachability engine it uses the partitioned
+conjuncts with early quantification and never builds the monolithic
+doubled relation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .manager import TRUE
+from .symbolic_fsm import SymbolicFSM, _cur, _inp, _nxt
+
+
+def _twin(name: str) -> str:
+    return "t." + name  # twin current-state variable
+
+
+def _twin_next(name: str) -> str:
+    return "u." + name  # twin next-state variable
+
+
+@dataclass
+class SymbolicForallKReport:
+    """Outcome of the symbolic Definition 5 analysis.
+
+    Attributes
+    ----------
+    holds:
+        True iff every distinct pair of reachable states is
+        forall-k-distinguishable for ``k``.
+    k:
+        The least sufficient horizon (None when the fixed point keeps
+        off-diagonal pairs).
+    residual_pair_count:
+        Number of unordered distinct reachable pairs still joined by
+        identical-output words at the fixed point (0 when ``holds``).
+    witness:
+        One residual pair as two state assignments (None when
+        ``holds``).
+    iterations / seconds:
+        Fixed-point effort.
+    """
+
+    holds: bool
+    k: Optional[int]
+    residual_pair_count: int
+    witness: Optional[Tuple[Dict[str, bool], Dict[str, bool]]]
+    iterations: int
+    seconds: float
+
+    def __str__(self) -> str:
+        if self.holds:
+            return (
+                f"forall-k-distinguishable with k={self.k} "
+                f"({self.iterations} iterations, {self.seconds:.2f}s)"
+            )
+        return (
+            f"NOT forall-k-distinguishable: "
+            f"{self.residual_pair_count} residual pairs "
+            f"({self.iterations} iterations, {self.seconds:.2f}s)"
+        )
+
+
+def distinguishability_fsm(netlist, valid=None) -> SymbolicFSM:
+    """Encode ``netlist`` with a variable order built for the doubled
+    state space: inputs first, then per register the quadruple
+    (current, next, twin-current, twin-next) adjacent.
+
+    The diagonal and output-equality constraints of the Definition 5
+    fixed point relate each register's own copy to its twin; without
+    this interleaving those XNORs span the whole order and the Eq BDDs
+    explode.
+    """
+    from .manager import BDDManager
+    from .symbolic_fsm import from_netlist
+
+    mgr = BDDManager()
+    for name in netlist.inputs:
+        mgr.add_var(_inp(name))
+    for name in netlist.register_names:
+        mgr.add_var(_cur(name))
+        mgr.add_var(_nxt(name))
+        mgr.add_var(_twin(name))
+        mgr.add_var(_twin_next(name))
+    return from_netlist(
+        netlist, valid=valid, manager=mgr, partitioned=True
+    )
+
+
+def analyze_forall_k_symbolic(
+    fsm: SymbolicFSM,
+    reachable: Optional[int] = None,
+    max_k: int = 64,
+) -> SymbolicForallKReport:
+    """Run the Eq fixed point implicitly over a doubled state space.
+
+    ``reachable`` restricts the analysis to reachable pairs (pass the
+    BDD from :func:`repro.bdd.reachability.reachable_states`); without
+    it the verdict quantifies over the raw state cube, which is
+    stricter than Definition 5 needs.
+
+    For anything beyond toy sizes build the FSM with
+    :func:`distinguishability_fsm`, which interleaves each register's
+    own and twin variables; an FSM from a plain
+    :func:`~repro.bdd.symbolic_fsm.from_netlist` works but registers
+    the twin copies at the end of the order, which can be
+    exponentially worse.
+    """
+    mgr = fsm.manager
+    t0 = time.perf_counter()
+    # Register the twin variable copies (idempotent if already there
+    # from distinguishability_fsm's interleaved registration).
+    for name in fsm.state_bits:
+        mgr.add_var(_twin(name))
+        mgr.add_var(_twin_next(name))
+
+    twin_map_cur = {_cur(n): _twin(n) for n in fsm.state_bits}
+    twin_map_nxt = {_nxt(n): _twin_next(n) for n in fsm.state_bits}
+
+    twin_parts = [
+        mgr.substitute(mgr.substitute(p, twin_map_cur), twin_map_nxt)
+        for p in fsm.parts
+    ]
+    twin_valid = mgr.substitute(fsm.valid_inputs, twin_map_cur)
+    equal_outputs = TRUE
+    for name in fsm.output_names:
+        f = fsm.outputs[name]
+        equal_outputs = mgr.apply_and(
+            equal_outputs,
+            mgr.apply_xnor(f, mgr.substitute(f, twin_map_cur)),
+        )
+
+    diagonal = TRUE
+    for name in fsm.state_bits:
+        diagonal = mgr.apply_and(
+            diagonal,
+            mgr.apply_xnor(mgr.var(_cur(name)), mgr.var(_twin(name))),
+        )
+    scope = TRUE
+    if reachable is not None:
+        scope = mgr.apply_and(
+            reachable, mgr.substitute(reachable, twin_map_cur)
+        )
+
+    input_vars = list(fsm.input_vars)
+    next_vars = [_nxt(n) for n in fsm.state_bits] + [
+        _twin_next(n) for n in fsm.state_bits
+    ]
+    pair_vars = fsm.current_vars + [_twin(n) for n in fsm.state_bits]
+
+    def step(eq_prev: int) -> int:
+        """One Eq iteration: pairs with an identical-output move into
+        eq_prev."""
+        target = mgr.substitute(
+            mgr.substitute(eq_prev, {_cur(n): _nxt(n) for n in fsm.state_bits}),
+            {_twin(n): _twin_next(n) for n in fsm.state_bits},
+        )
+        conjuncts = (
+            [fsm.valid_inputs, twin_valid, equal_outputs]
+            + list(fsm.parts)
+            + twin_parts
+        )
+        to_quantify = set(input_vars) | set(next_vars)
+        supports = [mgr.support(c) & to_quantify for c in conjuncts]
+        product = target
+        pending = to_quantify
+        for idx, conjunct in enumerate(conjuncts):
+            later: set = set()
+            for sup in supports[idx + 1:]:
+                later |= sup
+            ripe = [v for v in pending if v not in later]
+            product = mgr.and_exists(product, conjunct, ripe)
+            pending = pending - set(ripe)
+        if pending:
+            product = mgr.exists(product, pending)
+        return product
+
+    # Degenerate case: no distinct reachable pairs at all (single-state
+    # scope) -- forall-0-distinguishable by vacuity, matching the
+    # explicit engine.
+    if mgr.apply_and(mgr.apply_not(diagonal), scope) == 0:
+        return SymbolicForallKReport(
+            holds=True,
+            k=0,
+            residual_pair_count=0,
+            witness=None,
+            iterations=0,
+            seconds=time.perf_counter() - t0,
+        )
+
+    eq = TRUE  # Eq_0: every pair trivially joined by the empty word
+    iterations = 0
+    while iterations < max_k:
+        nxt = step(eq)
+        iterations += 1
+        # Residual = off-diagonal reachable pairs still in Eq.
+        residual = mgr.apply_and(
+            mgr.apply_and(nxt, mgr.apply_not(diagonal)), scope
+        )
+        if residual == 0:
+            return SymbolicForallKReport(
+                holds=True,
+                k=iterations,
+                residual_pair_count=0,
+                witness=None,
+                iterations=iterations,
+                seconds=time.perf_counter() - t0,
+            )
+        if nxt == eq:
+            break
+        eq = nxt
+    residual = mgr.apply_and(
+        mgr.apply_and(eq, mgr.apply_not(diagonal)), scope
+    )
+    count = mgr.sat_count(residual, over=pair_vars) // 2  # unordered
+    assignment = mgr.pick_one(residual)
+    witness = None
+    if assignment is not None:
+        left = {
+            n: bool(assignment.get(_cur(n), False)) for n in fsm.state_bits
+        }
+        right = {
+            n: bool(assignment.get(_twin(n), False)) for n in fsm.state_bits
+        }
+        witness = (left, right)
+    return SymbolicForallKReport(
+        holds=False,
+        k=None,
+        residual_pair_count=count,
+        witness=witness,
+        iterations=iterations,
+        seconds=time.perf_counter() - t0,
+    )

@@ -1,0 +1,188 @@
+"""Command-line interface: the library's main flows as subcommands.
+
+::
+
+    python -m repro fig3b                 # abstraction sequence table
+    python -m repro stats [--small]       # Section 7.2 statistics
+    python -m repro tour MODEL [...]      # tour a canonical model
+    python -m repro validate ASM_FILE     # co-simulate a DLX program
+    python -m repro catalog               # the design-error catalog
+
+Each subcommand prints a self-contained report; exit status is
+non-zero when a validation fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import models as model_zoo
+
+CANONICAL_MODELS = {
+    "vending": model_zoo.vending_machine,
+    "traffic": model_zoo.traffic_light,
+    "adder": model_zoo.serial_adder,
+    "abp": model_zoo.alternating_bit_sender,
+    "figure2": lambda: model_zoo.figure2_fragment()[0],
+    "counter": model_zoo.counter,
+    "shiftreg": model_zoo.shift_register,
+}
+
+
+def cmd_fig3b(_args: argparse.Namespace) -> int:
+    from .dlx.testmodel import derive_test_model
+
+    trail = derive_test_model()
+    print(f"{'latches':>8} {'PIs':>5} {'POs':>5}   step")
+    for label, net in trail:
+        print(
+            f"{net.latch_count():>8} {net.input_count():>5} "
+            f"{net.output_count():>5}   {label}"
+        )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from .bdd import from_netlist, reachable_states
+    from .dlx.testmodel import (
+        final_test_model,
+        tour_input_constraint,
+        tour_netlist,
+        valid_input_constraint,
+    )
+
+    if args.small:
+        net = tour_netlist()
+        constraint = tour_input_constraint(net)
+    else:
+        net = final_test_model()
+        constraint = valid_input_constraint(net)
+    fsm = from_netlist(net, valid=constraint, partitioned=True)
+    result = reachable_states(fsm)
+    print(f"model: {net.name} ({net.latch_count()} latches, "
+          f"{net.input_count()} inputs)")
+    print(f"valid inputs: {fsm.count_valid_inputs():,} of "
+          f"{1 << len(fsm.input_bits):,}")
+    print(str(result))
+    print(f"transitions: {fsm.count_transitions(result.reachable):,}")
+    return 0
+
+
+def cmd_tour(args: argparse.Namespace) -> int:
+    from .faults import run_campaign
+    from .tour import transition_tour
+
+    builder = CANONICAL_MODELS.get(args.model)
+    if builder is None:
+        print(
+            f"unknown model {args.model!r}; choose from "
+            f"{', '.join(sorted(CANONICAL_MODELS))}",
+            file=sys.stderr,
+        )
+        return 2
+    machine = builder()
+    tour = transition_tour(machine, method=args.method)
+    print(f"model: {machine}")
+    print(f"{args.method} tour: {len(tour)} inputs")
+    if args.show:
+        print(" ".join(map(str, tour.inputs)))
+    if args.campaign:
+        print(run_campaign(machine, tour.inputs))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from .dlx.assembler import assemble
+    from .dlx.pipeline import PipelineBugs
+    from .validation import validate
+
+    with open(args.program) as handle:
+        program = assemble(handle.read())
+    bugs = None
+    if args.bug:
+        from .dlx.buggy import catalog_by_name
+
+        entry = catalog_by_name().get(args.bug)
+        if entry is None:
+            print(f"unknown bug {args.bug!r}", file=sys.stderr)
+            return 2
+        bugs = entry.bugs
+    result = validate(program, bugs=bugs)
+    print(result)
+    return 0 if result.passed else 1
+
+
+def cmd_catalog(_args: argparse.Namespace) -> int:
+    from .dlx.buggy import BUG_CATALOG
+
+    for entry in BUG_CATALOG:
+        print(f"{entry.name}  [{entry.mechanism}]")
+        print(f"    {entry.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Coverage-driven validation via transition tours "
+            "(DAC 1997 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "fig3b", help="print the Figure 3(b) abstraction sequence"
+    ).set_defaults(func=cmd_fig3b)
+
+    stats = sub.add_parser(
+        "stats", help="Section 7.2 traversal statistics"
+    )
+    stats.add_argument(
+        "--small",
+        action="store_true",
+        help="use the reduced tour netlist (seconds instead of minutes)",
+    )
+    stats.set_defaults(func=cmd_stats)
+
+    tour = sub.add_parser("tour", help="tour a canonical model")
+    tour.add_argument("model", help=", ".join(sorted(CANONICAL_MODELS)))
+    tour.add_argument(
+        "--method", choices=("cpp", "greedy"), default="cpp"
+    )
+    tour.add_argument(
+        "--show", action="store_true", help="print the input sequence"
+    )
+    tour.add_argument(
+        "--campaign",
+        action="store_true",
+        help="measure error coverage over all single faults",
+    )
+    tour.set_defaults(func=cmd_tour)
+
+    val = sub.add_parser(
+        "validate", help="co-simulate a DLX assembly program"
+    )
+    val.add_argument("program", help="assembly file")
+    val.add_argument(
+        "--bug", help="inject a catalog bug (see `repro catalog`)"
+    )
+    val.set_defaults(func=cmd_validate)
+
+    sub.add_parser(
+        "catalog", help="list the design-error catalog"
+    ).set_defaults(func=cmd_catalog)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    raise SystemExit(main())

@@ -1,0 +1,213 @@
+"""Homomorphic abstraction of Mealy machines (Section 6).
+
+The paper derives test models from implementations by a *homomorphic
+abstraction*: a many-to-one map ``A`` from concrete states to abstract
+states that preserves the transition relation -- a concrete transition
+``s1 --i/o--> s2`` maps to the abstract transition
+``A(s1) --i/o--> A(s2)``.  In practice ``A`` is a map over *state
+variables* (drop the datapath registers, keep the pipeline control
+bits), which is why it can be computed topologically without touching
+the exponential state space.
+
+This module implements:
+
+* :func:`quotient` -- the homomorphic image of a machine under maps
+  over states, inputs and outputs.  The image is a
+  :class:`~repro.core.mealy.NondetMealyMachine` because distinct
+  concrete transitions may disagree after mapping; Requirement 1 is
+  precisely the demand that they do *not* disagree on outputs.
+* :func:`project_vars` -- the standard state-variable abstraction for
+  machines whose states are mappings from variable names to values.
+* :func:`observe_state_component` -- the Requirement 5 repair: make a
+  state component observable by appending it to every output.
+* :func:`is_homomorphic_image` -- check that a candidate abstract
+  machine really is a transition-preserving image of a concrete one.
+* :func:`inherited_forall_k` -- the Section 6.2 inheritance argument,
+  checkable: if the concrete machine is forall-k-distinguishable, so is
+  any (output-deterministic) quotient.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from .distinguish import ForallKReport, analyze_forall_k
+from .mealy import (
+    Input,
+    MealyError,
+    MealyMachine,
+    NondetMealyMachine,
+    Output,
+    State,
+)
+
+StateMap = Callable[[State], State]
+InputMap = Callable[[Input], Input]
+OutputMap = Callable[[Output], Output]
+
+
+def quotient(
+    machine: MealyMachine,
+    state_map: StateMap,
+    input_map: Optional[InputMap] = None,
+    output_map: Optional[OutputMap] = None,
+    name: Optional[str] = None,
+) -> NondetMealyMachine:
+    """The homomorphic image of ``machine`` under the given maps.
+
+    Every concrete transition ``s --i/o--> t`` contributes the abstract
+    move ``A(s) --I(i)/O(o)--> A(t)``.  Because several concrete
+    transitions can map to the same abstract (state, input) pair with
+    different outputs or destinations, the result is an output- and
+    transition-nondeterministic machine; callers interested in
+    Requirement 1 inspect
+    :meth:`~repro.core.mealy.NondetMealyMachine.is_output_deterministic`.
+    """
+    imap = input_map if input_map is not None else (lambda i: i)
+    omap = output_map if output_map is not None else (lambda o: o)
+    abstract = NondetMealyMachine(
+        state_map(machine.initial),
+        name=name or machine.name + "-abs",
+    )
+    for s in machine.states:
+        abstract._states.add(state_map(s))  # keep unreachable images too
+    for t in machine.transitions:
+        abstract.add_move(
+            state_map(t.src), imap(t.inp), omap(t.out), state_map(t.dst)
+        )
+    return abstract
+
+
+def project_vars(keep: Iterable[str]) -> StateMap:
+    """A state map projecting mapping-states onto the variables ``keep``.
+
+    States must be mappings (dict-like) from variable names to
+    hashable values; the image is a canonical, hashable tuple of
+    ``(name, value)`` pairs sorted by name.  This is the "abstraction
+    over state variables" of Section 6.1: e.g. dropping register
+    contents but keeping pipeline-stage control state.
+    """
+    kept = tuple(sorted(set(keep)))
+
+    def mapper(state: State) -> State:
+        if not isinstance(state, Mapping):
+            raise MealyError(
+                f"project_vars needs mapping states, got {type(state).__name__}"
+            )
+        return tuple((k, state[k]) for k in kept if k in state)
+
+    return mapper
+
+
+def drop_vars(drop: Iterable[str], all_vars: Iterable[str]) -> StateMap:
+    """Complement of :func:`project_vars`: keep everything but ``drop``."""
+    dropped = set(drop)
+    return project_vars(v for v in all_vars if v not in dropped)
+
+
+def observe_state_component(
+    machine: MealyMachine,
+    component: Callable[[State], Hashable],
+    name: Optional[str] = None,
+) -> MealyMachine:
+    """Requirement 5's repair: make a state component observable.
+
+    Returns a machine identical to ``machine`` except that every
+    transition's output is the pair ``(original output,
+    component(src))``: during functional simulation the named state
+    component is visible while the machine occupies a state, so every
+    transition's observed output reveals the component of the state it
+    *leaves*.  This models the paper's prescription for interaction
+    state ("the state associated with interactions between processing
+    of subsequent inputs is made observable"): if a transfer error
+    parks the implementation in a state whose component differs from
+    the specification's, the very next transition exposes it, which is
+    what restores Definition 5 (Case 2 of Section 5.1).
+    """
+    enriched = MealyMachine(
+        machine.initial, name=name or machine.name + "+obs"
+    )
+    for s in machine.states:
+        enriched.add_state(s)
+    for t in machine.transitions:
+        enriched.add_transition(
+            t.src, t.inp, (t.out, component(t.src)), t.dst
+        )
+    return enriched
+
+
+def is_homomorphic_image(
+    concrete: MealyMachine,
+    abstract: NondetMealyMachine,
+    state_map: StateMap,
+    input_map: Optional[InputMap] = None,
+    output_map: Optional[OutputMap] = None,
+) -> bool:
+    """Check transition preservation of ``state_map``.
+
+    True iff every concrete transition, pushed through the maps,
+    appears among the abstract machine's moves, and the initial states
+    correspond.  This is the defining property of the Section 6.1
+    abstraction ("this mapping preserves the transition relation").
+    """
+    imap = input_map if input_map is not None else (lambda i: i)
+    omap = output_map if output_map is not None else (lambda o: o)
+    if state_map(concrete.initial) != abstract.initial:
+        return False
+    for t in concrete.transitions:
+        moves = abstract.moves(state_map(t.src), imap(t.inp))
+        if (state_map(t.dst), omap(t.out)) not in moves:
+            return False
+    return True
+
+
+def inherited_forall_k(
+    concrete: MealyMachine,
+    state_map: StateMap,
+    max_k: Optional[int] = None,
+) -> Tuple[ForallKReport, ForallKReport]:
+    """Demonstrate the Section 6.2 inheritance property.
+
+    Computes forall-k reports for the concrete machine and for its
+    (determinized) quotient under ``state_map``.  Section 6.2 argues
+    that if the concrete model is forall-k-distinguishable then so is
+    the abstract one, because distinct abstract states have distinct
+    concrete preimages and the homomorphism preserves the
+    distinguishing runs.  The returned pair lets callers (and the test
+    suite) confirm ``abstract_report.k <= concrete_report.k`` whenever
+    both hold.
+
+    Raises
+    ------
+    MealyError
+        If the quotient is not deterministic -- the inheritance
+        statement presumes a well-defined abstract machine.
+    """
+    abstract = quotient(concrete, state_map)
+    det = abstract.determinize_outputs()
+    return analyze_forall_k(concrete, max_k=max_k), analyze_forall_k(
+        det, max_k=max_k
+    )
+
+
+def abstraction_fibers(
+    machine: MealyMachine, state_map: StateMap
+) -> Dict[State, frozenset]:
+    """Group concrete states by their abstract image (the map's fibers).
+
+    Useful for diagnostics: large fibers are aggressive abstraction;
+    fibers that merge states with different output behaviour are where
+    Requirement 1 violations originate.
+    """
+    fibers: Dict[State, set] = {}
+    for s in machine.states:
+        fibers.setdefault(state_map(s), set()).add(s)
+    return {a: frozenset(group) for a, group in fibers.items()}

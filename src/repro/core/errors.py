@@ -1,0 +1,298 @@
+"""The paper's error model, executable (Section 4.1, Definitions 1-4).
+
+Every implementation error is modelled as either an *output error* or
+a *transfer error* on some transition -- the FSM fault model inherited
+from protocol conformance testing (Dahbura/Sabnani/Uyar).  This module
+defines those errors as first-class objects that can be applied to a
+:class:`~repro.core.mealy.MealyMachine` to produce a faulty mutant, and
+provides the classification predicates the paper's theorems are stated
+in terms of:
+
+* :func:`is_uniform_output_error` -- Definition 2: the faulty output is
+  observed for *every* input history ending in the faulty transition.
+* :func:`masking_pairs` / :func:`is_masked_on` -- Definition 4: a
+  transfer error is masked when a later transfer error steers control
+  back onto the correct state sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from .mealy import Input, MealyMachine, Output, State, Transition, sequences
+
+
+class FaultError(Exception):
+    """Raised when a fault cannot be applied to a machine."""
+
+
+@dataclass(frozen=True)
+class OutputError:
+    """Definition 1: transition ``(src, inp)`` produces ``wrong_out``
+    instead of the specified output.
+
+    In the deterministic Mealy setting a single-transition output fault
+    is automatically *uniform* (Definition 2): the transition always
+    emits the wrong value regardless of history.  Non-uniform output
+    errors only arise on *abstract* transitions of a test model, where
+    one abstract transition stands for many concrete histories -- see
+    :func:`is_uniform_output_error`.
+    """
+
+    src: State
+    inp: Input
+    wrong_out: Output
+
+    def apply(self, machine: MealyMachine) -> MealyMachine:
+        """Return a mutant of ``machine`` with this output error."""
+        t = machine.transition(self.src, self.inp)
+        if t is None:
+            raise FaultError(
+                f"no transition at ({self.src!r}, {self.inp!r}) to corrupt"
+            )
+        if t.out == self.wrong_out:
+            raise FaultError(
+                f"output error at ({self.src!r}, {self.inp!r}) is a no-op: "
+                f"output is already {self.wrong_out!r}"
+            )
+        mutant = MealyMachine(machine.initial, name=f"{machine.name}+{self}")
+        for s in machine.states:
+            mutant.add_state(s)
+        for tr in machine.transitions:
+            if tr.src == self.src and tr.inp == self.inp:
+                tr = tr.relabel(out=self.wrong_out)
+            mutant.add_transition(tr.src, tr.inp, tr.out, tr.dst)
+        return mutant
+
+    def site(self) -> Tuple[State, Input]:
+        """The (state, input) transition this fault corrupts."""
+        return (self.src, self.inp)
+
+    def __str__(self) -> str:
+        return f"out[{self.src}/{self.inp}->{self.wrong_out}]"
+
+
+@dataclass(frozen=True)
+class TransferError:
+    """Definition 3: transition ``(src, inp)`` goes to ``wrong_dst``
+    instead of the specified destination state.
+
+    The output of the faulty transition is unchanged; the error is
+    observable only through the behaviour of *subsequent* transitions,
+    which is exactly why transition tours alone cannot expose it
+    without the distinguishability hypotheses (Figure 2).
+    """
+
+    src: State
+    inp: Input
+    wrong_dst: State
+
+    def apply(self, machine: MealyMachine) -> MealyMachine:
+        """Return a mutant of ``machine`` with this transfer error."""
+        t = machine.transition(self.src, self.inp)
+        if t is None:
+            raise FaultError(
+                f"no transition at ({self.src!r}, {self.inp!r}) to divert"
+            )
+        if t.dst == self.wrong_dst:
+            raise FaultError(
+                f"transfer error at ({self.src!r}, {self.inp!r}) is a "
+                f"no-op: destination is already {self.wrong_dst!r}"
+            )
+        if self.wrong_dst not in machine.states:
+            raise FaultError(
+                f"transfer target {self.wrong_dst!r} is not a state of "
+                f"{machine.name}"
+            )
+        mutant = MealyMachine(machine.initial, name=f"{machine.name}+{self}")
+        for s in machine.states:
+            mutant.add_state(s)
+        for tr in machine.transitions:
+            if tr.src == self.src and tr.inp == self.inp:
+                tr = tr.relabel(dst=self.wrong_dst)
+            mutant.add_transition(tr.src, tr.inp, tr.out, tr.dst)
+        return mutant
+
+    def site(self) -> Tuple[State, Input]:
+        """The (state, input) transition this fault diverts."""
+        return (self.src, self.inp)
+
+    def __str__(self) -> str:
+        return f"xfer[{self.src}/{self.inp}->{self.wrong_dst}]"
+
+
+Fault = Hashable  # OutputError | TransferError (kept loose for 3.9)
+
+
+def is_uniform_output_error(
+    spec: MealyMachine,
+    impl: MealyMachine,
+    site: Tuple[State, Input],
+    horizon: int,
+) -> Optional[bool]:
+    """Decide Definition 2 for the transition at ``site``.
+
+    An output error on transition ``t`` is *uniform* if the
+    implementation output differs from the specification output for
+    **all** input histories that end in ``t``.  We enumerate every
+    input history of length <= ``horizon`` from the initial state
+    (brute force -- intended for the small abstract machines the
+    definitions are about, and for oracle duty in tests).
+
+    Returns
+    -------
+    True
+        Every history ending in ``site`` shows a wrong output there.
+    False
+        Some history ending in ``site`` shows a wrong output and some
+        shows the correct one (a *non-uniform* output error).
+    None
+        No history within the horizon exhibits any output difference at
+        ``site`` (no output error there, or the site is unreachable).
+    """
+    src, inp = site
+    saw_wrong = False
+    saw_right = False
+    for length in range(horizon + 1):
+        for seq in sequences(spec.inputs, length):
+            state_s = spec.initial
+            state_i = impl.initial
+            ok = True
+            for x in seq:
+                ts = spec.transition(state_s, x)
+                ti = impl.transition(state_i, x)
+                if ts is None or ti is None:
+                    ok = False
+                    break
+                state_s, state_i = ts.dst, ti.dst
+            if not ok:
+                continue
+            ts = spec.transition(state_s, inp)
+            ti = impl.transition(state_i, inp)
+            if ts is None or ti is None:
+                continue
+            # The history must *end in* the site transition of the spec.
+            if state_s != src:
+                continue
+            if ts.out != ti.out:
+                saw_wrong = True
+            else:
+                saw_right = True
+            if saw_wrong and saw_right:
+                return False
+    if not saw_wrong:
+        return None
+    return not saw_right
+
+
+def state_sequence(
+    machine: MealyMachine, inputs: Sequence[Input], start: Optional[State] = None
+) -> List[State]:
+    """The state sequence ``<s0, s1, ..., sn>`` visited by ``inputs``.
+
+    Includes the start state, so the result has ``len(inputs) + 1``
+    entries.  This is the object Definition 4 (masking) quantifies
+    over.
+    """
+    state = machine.initial if start is None else start
+    seq = [state]
+    for inp in inputs:
+        state, _out = machine.step(state, inp)
+        seq.append(state)
+    return seq
+
+
+def divergence_windows(
+    good: Sequence[State], bad: Sequence[State]
+) -> List[Tuple[int, int]]:
+    """Maximal index windows where two state sequences disagree.
+
+    Given the correct state sequence and the faulty one for the same
+    input sequence, returns ``[(j, l), ...]`` such that the sequences
+    differ on indices ``j..l-1`` and agree at ``j-1`` and ``l``.  Each
+    window that *closes* before the end of the run is a masked-error
+    window in the sense of Definition 4: control returned to the state
+    it would have been in with no error.
+    """
+    if len(good) != len(bad):
+        raise ValueError("state sequences must have equal length")
+    windows: List[Tuple[int, int]] = []
+    open_at: Optional[int] = None
+    for idx, (g, b) in enumerate(zip(good, bad)):
+        if g != b and open_at is None:
+            open_at = idx
+        elif g == b and open_at is not None:
+            windows.append((open_at, idx))
+            open_at = None
+    if open_at is not None:
+        windows.append((open_at, len(good)))
+    return windows
+
+
+def is_masked_on(
+    spec: MealyMachine,
+    impl: MealyMachine,
+    inputs: Sequence[Input],
+) -> bool:
+    """Definition 4, for one input sequence.
+
+    Runs ``inputs`` on both machines and reports True iff some
+    divergence window between the visited state sequences *closes*
+    before the end of the run -- i.e. a transfer error occurred and a
+    subsequent transfer error returned control to the correct state.
+    """
+    good = state_sequence(spec, inputs)
+    bad = state_sequence(impl, inputs)
+    return any(end < len(good) for (_start, end) in divergence_windows(good, bad))
+
+
+def masking_pairs(
+    spec: MealyMachine,
+    impl: MealyMachine,
+    horizon: int,
+) -> Iterator[Tuple[Tuple[Input, ...], Tuple[int, int]]]:
+    """Enumerate (input sequence, closed divergence window) witnesses.
+
+    Brute-force search over all input sequences up to ``horizon`` for
+    evidence that some transfer error in ``impl`` is masked
+    (Definition 4).  An empty iterator certifies Requirement 4
+    ("transfer errors are not masked") up to the horizon.
+    """
+    for length in range(1, horizon + 1):
+        for seq in sequences(spec.inputs, length):
+            try:
+                good = state_sequence(spec, seq)
+                bad = state_sequence(impl, seq)
+            except Exception:
+                continue
+            for window in divergence_windows(good, bad):
+                if window[1] < len(good):
+                    yield tuple(seq), window
+
+
+def classify_difference(
+    spec: MealyMachine, impl: MealyMachine
+) -> List[Hashable]:
+    """Classify the transition-level differences of ``impl`` vs ``spec``.
+
+    Compares machines with identical state/input spaces transition by
+    transition and returns the list of :class:`OutputError` /
+    :class:`TransferError` objects that, applied to ``spec``, yield
+    ``impl``.  This inverts fault injection and is used by the test
+    suite to verify that injectors are faithful.
+    """
+    if spec.states != impl.states:
+        raise FaultError("machines must share a state space to classify")
+    faults: List[Hashable] = []
+    for t in spec.transitions:
+        u = impl.transition(t.src, t.inp)
+        if u is None:
+            raise FaultError(
+                f"implementation lost transition ({t.src!r}, {t.inp!r})"
+            )
+        if u.out != t.out:
+            faults.append(OutputError(t.src, t.inp, u.out))
+        if u.dst != t.dst:
+            faults.append(TransferError(t.src, t.inp, u.dst))
+    return faults

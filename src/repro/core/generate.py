@@ -1,0 +1,127 @@
+"""Random Mealy-machine generators for experiments and tests.
+
+The theorem-validation experiments (THM1 in DESIGN.md) need populations
+of machines with controlled properties: input-complete and strongly
+connected (so transition tours exist), optionally
+forall-k-distinguishable (so Theorem 1's hypotheses hold), optionally
+with observable state (the degenerate forall-1 case).  All generators
+take an explicit :class:`random.Random` so experiments are
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from .distinguish import analyze_forall_k
+from .mealy import MealyMachine
+
+
+def random_mealy(
+    rng: random.Random,
+    n_states: int,
+    n_inputs: int,
+    n_outputs: int,
+    name: str = "random",
+) -> MealyMachine:
+    """A uniformly random complete, strongly connected Mealy machine.
+
+    Strong connectivity is ensured by first threading a random
+    Hamiltonian cycle through the states (using input 0) and then
+    filling the remaining (state, input) cells uniformly.  Outputs are
+    uniform over ``n_outputs`` symbols.
+    """
+    if n_states < 1 or n_inputs < 1 or n_outputs < 1:
+        raise ValueError("n_states, n_inputs, n_outputs must be positive")
+    states = [f"s{i}" for i in range(n_states)]
+    inputs = [f"i{j}" for j in range(n_inputs)]
+    outputs = [f"o{j}" for j in range(n_outputs)]
+    order = states[:]
+    rng.shuffle(order)
+    m = MealyMachine(order[0], name=name)
+    for idx, s in enumerate(order):
+        nxt = order[(idx + 1) % n_states]
+        m.add_transition(s, inputs[0], rng.choice(outputs), nxt)
+    for s in states:
+        for inp in inputs[1:]:
+            m.add_transition(
+                s, inp, rng.choice(outputs), rng.choice(states)
+            )
+    return m
+
+
+def with_observable_state(
+    machine: MealyMachine, name: Optional[str] = None
+) -> MealyMachine:
+    """Enrich outputs so every transition reveals its source state.
+
+    The resulting machine is forall-1-distinguishable by construction
+    (distinct states disagree on every input's output), modelling the
+    processor situation where "a large part of the implementation
+    state is observable as outputs" (Section 5).
+    """
+    enriched = MealyMachine(
+        machine.initial, name=name or machine.name + "+state"
+    )
+    for s in machine.states:
+        enriched.add_state(s)
+    for t in machine.transitions:
+        enriched.add_transition(t.src, t.inp, (t.out, t.src), t.dst)
+    return enriched
+
+
+def random_certified_mealy(
+    rng: random.Random,
+    n_states: int,
+    n_inputs: int,
+    n_outputs: int,
+    max_k: int = 8,
+    max_tries: int = 200,
+    name: str = "random-certified",
+) -> Tuple[MealyMachine, int]:
+    """A random machine that *is* forall-k-distinguishable for some
+    ``k <= max_k``; returns ``(machine, k)``.
+
+    Rejection-samples :func:`random_mealy` until the fixed-point
+    analysis certifies it.  With a rich output alphabet
+    (``n_outputs`` comparable to ``n_states``) acceptance is fast;
+    with a poor one it may exhaust ``max_tries`` and raise -- which is
+    itself the paper's point about observability.
+    """
+    for _attempt in range(max_tries):
+        m = random_mealy(rng, n_states, n_inputs, n_outputs, name=name)
+        report = analyze_forall_k(m, max_k=max_k)
+        if report.holds and report.k is not None and report.k <= max_k:
+            return m, report.k
+    raise RuntimeError(
+        f"no forall-k-distinguishable machine found in {max_tries} tries "
+        f"(n_states={n_states}, n_inputs={n_inputs}, "
+        f"n_outputs={n_outputs}, max_k={max_k}); "
+        f"increase n_outputs to make more state observable"
+    )
+
+
+def random_uncertified_mealy(
+    rng: random.Random,
+    n_states: int,
+    n_inputs: int,
+    n_outputs: int,
+    max_tries: int = 200,
+    name: str = "random-uncertified",
+) -> MealyMachine:
+    """A random machine that is *not* forall-k-distinguishable for any k.
+
+    The control population for the theorem experiments: transition
+    tours on these machines are allowed to miss transfer errors, and
+    the fault-injection campaign measures how often they do.
+    """
+    for _attempt in range(max_tries):
+        m = random_mealy(rng, n_states, n_inputs, n_outputs, name=name)
+        report = analyze_forall_k(m)
+        if not report.holds:
+            return m
+    raise RuntimeError(
+        f"every sampled machine was forall-k-distinguishable in "
+        f"{max_tries} tries; reduce n_outputs"
+    )

@@ -1,0 +1,164 @@
+"""KISS2 import/export for Mealy machines.
+
+The paper's tour generator ran inside SIS, whose native FSM exchange
+format is KISS2 (``.i/.o/.p/.s/.r`` headers plus one
+``input state next-state output`` line per transition).  This module
+reads and writes that format so test models can round-trip with
+classic logic-synthesis tools:
+
+* inputs/outputs are bit-vector symbols; machines whose input/output
+  alphabets are not already bit strings are encoded via enumeration
+  (dense binary codes), with the symbol tables returned so callers can
+  decode;
+* ``-`` don't-care bits are accepted on input when reading (expanded
+  to all matching assignments).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .mealy import MealyMachine
+
+
+class KissError(Exception):
+    """Raised on malformed KISS2 text or unencodable machines."""
+
+
+@dataclass(frozen=True)
+class KissDocument:
+    """A KISS2 rendering plus the symbol tables used to produce it."""
+
+    text: str
+    input_codes: Dict[object, str]
+    output_codes: Dict[object, str]
+    state_names: Dict[object, str]
+
+
+def _codes(symbols: Sequence, kind: str) -> Dict[object, str]:
+    """Dense binary codes for an ordered symbol list."""
+    ordered = sorted(symbols, key=repr)
+    width = max(1, math.ceil(math.log2(max(2, len(ordered)))))
+    return {
+        sym: format(idx, f"0{width}b") for idx, sym in enumerate(ordered)
+    }
+
+
+def _state_token(state, used: Dict[object, str]) -> str:
+    if state in used:
+        return used[state]
+    base = "".join(
+        ch for ch in str(state) if ch.isalnum() or ch in "_"
+    ) or "s"
+    token = f"s{len(used)}_{base}"[:32]
+    used[state] = token
+    return token
+
+
+def to_kiss(machine: MealyMachine) -> KissDocument:
+    """Render a machine as KISS2.
+
+    Inputs and outputs are binary-encoded via enumeration; states get
+    sanitized unique names with the initial state first (KISS2's
+    ``.r``).
+    """
+    input_codes = _codes(machine.inputs, "input")
+    output_codes = _codes(machine.outputs, "output")
+    state_names: Dict[object, str] = {}
+    reset = _state_token(machine.initial, state_names)
+    lines: List[str] = []
+    for t in machine.transitions:
+        lines.append(
+            f"{input_codes[t.inp]} "
+            f"{_state_token(t.src, state_names)} "
+            f"{_state_token(t.dst, state_names)} "
+            f"{output_codes[t.out]}"
+        )
+    in_width = len(next(iter(input_codes.values()), "0"))
+    out_width = len(next(iter(output_codes.values()), "0"))
+    header = [
+        f".i {in_width}",
+        f".o {out_width}",
+        f".p {len(lines)}",
+        f".s {len(state_names)}",
+        f".r {reset}",
+    ]
+    text = "\n".join(header + lines + [".e"]) + "\n"
+    return KissDocument(
+        text=text,
+        input_codes=dict(input_codes),
+        output_codes=dict(output_codes),
+        state_names=dict(state_names),
+    )
+
+
+def from_kiss(text: str, name: str = "kiss") -> MealyMachine:
+    """Parse KISS2 text into a Mealy machine.
+
+    States are the KISS state names; inputs and outputs are the bit
+    strings as written (don't-care input bits expand to both values).
+    """
+    headers: Dict[str, str] = {}
+    body: List[Tuple[str, str, str, str]] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line == ".e":
+            break
+        if line.startswith("."):
+            parts = line.split()
+            if len(parts) != 2:
+                raise KissError(f"line {line_no}: bad header {line!r}")
+            headers[parts[0]] = parts[1]
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise KissError(
+                f"line {line_no}: expected 'in state next out', "
+                f"got {line!r}"
+            )
+        body.append((parts[0], parts[1], parts[2], parts[3]))
+    if not body:
+        raise KissError("no transitions")
+    reset = headers.get(".r", body[0][1])
+    machine = MealyMachine(reset, name=name)
+    declared_inputs = headers.get(".i")
+    for in_bits, src, dst, out_bits in body:
+        if declared_inputs is not None and len(in_bits) != int(
+            declared_inputs
+        ):
+            raise KissError(
+                f"input {in_bits!r} width != .i {declared_inputs}"
+            )
+        for expanded in _expand(in_bits):
+            machine.add_transition(src, expanded, out_bits, dst)
+    if ".p" in headers and machine.num_transitions() < len(body):
+        # Duplicate (identical) lines are tolerated; conflicting ones
+        # raise inside add_transition.
+        pass
+    return machine
+
+
+def _expand(bits: str) -> List[str]:
+    """Expand '-' don't-cares into all matching bit strings."""
+    if "-" not in bits:
+        return [bits]
+    idx = bits.index("-")
+    rest = bits[idx + 1:]
+    return [
+        bits[:idx] + value + tail
+        for value in "01"
+        for tail in _expand(rest)
+    ]
+
+
+def roundtrip(machine: MealyMachine) -> MealyMachine:
+    """to_kiss followed by from_kiss (used by the tests).
+
+    The result is isomorphic to the input up to the symbol encoding:
+    states renamed, inputs/outputs binary-coded.
+    """
+    return from_kiss(to_kiss(machine).text, name=machine.name + "-kiss")

@@ -1,0 +1,123 @@
+"""Mealy-machine minimization and state equivalence.
+
+Partition-refinement (Moore/Hopcroft style) minimization for
+deterministic Mealy machines.  Minimization matters to the methodology
+in two ways:
+
+* A test model with equivalent states can never satisfy Definition 5
+  (equivalent states are indistinguishable by *any* sequence), so the
+  minimized machine is the right object to run
+  :func:`repro.core.distinguish.analyze_forall_k` on.
+* The quotient construction here is the degenerate, behaviour-
+  preserving end of the abstraction spectrum of Section 6 -- it merges
+  only states the specification itself cannot tell apart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from .mealy import Input, MealyError, MealyMachine, State
+
+
+def initial_partition(machine: MealyMachine) -> List[FrozenSet[State]]:
+    """Split states by their output row (output per input).
+
+    Two states land in the same initial block iff they produce the same
+    output on every input; refinement then separates states whose
+    successors diverge.
+    """
+    inputs = sorted(machine.inputs, key=repr)
+    by_row: Dict[Tuple, List[State]] = {}
+    for s in sorted(machine.states, key=repr):
+        row = []
+        for inp in inputs:
+            t = machine.transition(s, inp)
+            row.append(None if t is None else t.out)
+        by_row.setdefault(tuple(row), []).append(s)
+    return [frozenset(block) for block in by_row.values()]
+
+
+def equivalence_classes(machine: MealyMachine) -> List[FrozenSet[State]]:
+    """The coarsest partition of states into behavioural equivalence
+    classes.
+
+    Classical partition refinement: start from the output-row
+    partition and split blocks whose members transition to different
+    blocks on some input, until stable.  Runs in
+    ``O(|S|^2 * |I|)`` -- ample for test models, which are small by
+    construction.
+    """
+    inputs = sorted(machine.inputs, key=repr)
+    partition = initial_partition(machine)
+    while True:
+        block_of: Dict[State, int] = {}
+        for idx, block in enumerate(partition):
+            for s in block:
+                block_of[s] = idx
+        new_partition: List[FrozenSet[State]] = []
+        changed = False
+        for block in partition:
+            by_sig: Dict[Tuple, List[State]] = {}
+            for s in sorted(block, key=repr):
+                sig = []
+                for inp in inputs:
+                    t = machine.transition(s, inp)
+                    sig.append(None if t is None else block_of[t.dst])
+                by_sig.setdefault(tuple(sig), []).append(s)
+            if len(by_sig) > 1:
+                changed = True
+            new_partition.extend(frozenset(v) for v in by_sig.values())
+        partition = new_partition
+        if not changed:
+            return sorted(partition, key=lambda b: repr(sorted(b, key=repr)))
+
+
+def are_equivalent(machine: MealyMachine, s1: State, s2: State) -> bool:
+    """True iff ``s1`` and ``s2`` are behaviourally equivalent."""
+    for block in equivalence_classes(machine):
+        if s1 in block:
+            return s2 in block
+    raise MealyError(f"{s1!r} is not a state of {machine.name}")
+
+
+def minimize(machine: MealyMachine) -> MealyMachine:
+    """The minimal machine equivalent to ``machine``.
+
+    States are first restricted to the reachable set, then merged by
+    behavioural equivalence.  Resulting states are frozensets of
+    original states (the equivalence classes), which keeps the quotient
+    map visible to callers.
+    """
+    reachable = machine.restrict_to_reachable()
+    blocks = equivalence_classes(reachable)
+    class_of: Dict[State, FrozenSet[State]] = {}
+    for block in blocks:
+        for s in block:
+            class_of[s] = block
+    result = MealyMachine(
+        class_of[reachable.initial], name=machine.name + "-min"
+    )
+    for block in blocks:
+        result.add_state(block)
+    for t in reachable.transitions:
+        src = class_of[t.src]
+        dst = class_of[t.dst]
+        existing = result.transition(src, t.inp)
+        if existing is not None:
+            if existing.out != t.out or existing.dst != dst:
+                raise MealyError(
+                    "equivalence classes are inconsistent; "
+                    "machine may be nondeterministic"
+                )
+            continue
+        result.add_transition(src, t.inp, t.out, dst)
+    return result
+
+
+def is_minimal(machine: MealyMachine) -> bool:
+    """True iff every state is reachable and no two are equivalent."""
+    reach = machine.reachable_states()
+    if reach != set(machine.states):
+        return False
+    return all(len(block) == 1 for block in equivalence_classes(machine))

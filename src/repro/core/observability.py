@@ -1,0 +1,205 @@
+"""Automatic interaction-state identification (Section 6.2's future
+work).
+
+The paper requires the designer to identify the interaction state
+(Requirement 5) by hand: "they just need to identify the state
+variables involved ... we believe it is manageable in practice, and
+are currently working on formalizing it in an effort towards
+automation."  This module is that automation for models whose states
+are structured (tuples or mappings of named components):
+
+* :func:`residual_components` -- which state components differ across
+  the forall-k analysis' residual pairs: the candidates whose
+  invisibility blocks Definition 5;
+* :func:`suggest_observations` -- greedy minimal-ish selection: add
+  the component that splits the most residual pairs, re-analyze,
+  repeat until the model certifies (or no component helps);
+* :func:`auto_observe` -- apply the suggestion, returning the enriched
+  machine plus the certificate it now earns.
+
+The greedy loop terminates because each accepted component strictly
+reduces the residual-pair count, and observing *all* components makes
+the machine forall-1-distinguishable (states are then fully visible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .abstraction import observe_state_component
+from .distinguish import ForallKReport, analyze_forall_k
+from .mealy import MealyMachine, State
+
+
+class ObservabilityError(Exception):
+    """Raised when states are not component-structured."""
+
+
+def state_components(state: State) -> Dict[Hashable, Hashable]:
+    """Decompose a structured state into named components.
+
+    Tuples decompose by position, mappings (and canonical
+    ``((name, value), ...)`` tuples) by key.  Scalar states have a
+    single component named ``()``.
+    """
+    if isinstance(state, Mapping):
+        return dict(state)
+    if isinstance(state, tuple):
+        if state and all(
+            isinstance(item, tuple) and len(item) == 2 for item in state
+        ):
+            return {name: value for name, value in state}
+        return {idx: value for idx, value in enumerate(state)}
+    return {(): state}
+
+
+def component_names(machine: MealyMachine) -> List[Hashable]:
+    """The component names shared by all states of the machine.
+
+    Raises
+    ------
+    ObservabilityError
+        If states decompose into inconsistent component sets.
+    """
+    names: Optional[FrozenSet[Hashable]] = None
+    for s in machine.states:
+        keys = frozenset(state_components(s))
+        if names is None:
+            names = keys
+        elif keys != names:
+            raise ObservabilityError(
+                "states decompose into inconsistent components: "
+                f"{sorted(map(repr, names))} vs {sorted(map(repr, keys))}"
+            )
+    return sorted(names or (), key=repr)
+
+
+def residual_components(
+    machine: MealyMachine, report: Optional[ForallKReport] = None
+) -> Dict[Hashable, int]:
+    """For each component, how many residual pairs it distinguishes.
+
+    A residual pair (Definition 5 failure) can only be repaired by
+    observing a component on which its two states *differ*; the counts
+    returned here rank the candidates -- exactly the "state variables
+    involved" the paper asks the designer to identify.
+    """
+    if report is None:
+        report = analyze_forall_k(machine)
+    counts: Dict[Hashable, int] = {}
+    for (a, b) in report.residual_pairs:
+        ca, cb = state_components(a), state_components(b)
+        for name in ca:
+            if ca[name] != cb.get(name, object()):
+                counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+@dataclass(frozen=True)
+class ObservationPlan:
+    """Outcome of the greedy observation search.
+
+    Attributes
+    ----------
+    components:
+        The component names to observe, in selection order.
+    certified:
+        True iff observing them makes the model
+        forall-k-distinguishable.
+    k:
+        The resulting horizon (None when not certified).
+    history:
+        ``(component, residual pairs remaining after adding it)`` per
+        greedy step -- the audit trail of the selection.
+    """
+
+    components: Tuple[Hashable, ...]
+    certified: bool
+    k: Optional[int]
+    history: Tuple[Tuple[Hashable, int], ...]
+
+
+def _observer(
+    names: Sequence[Hashable],
+) -> Callable[[State], Hashable]:
+    chosen = tuple(names)
+
+    def extract(state: State) -> Hashable:
+        comps = state_components(state)
+        return tuple(comps.get(name) for name in chosen)
+
+    return extract
+
+
+def suggest_observations(
+    machine: MealyMachine,
+    max_components: Optional[int] = None,
+    max_k: Optional[int] = None,
+) -> ObservationPlan:
+    """Greedy selection of interaction-state components to observe.
+
+    Each round scores every unobserved component by how many residual
+    pairs it would distinguish, enriches the outputs with the best
+    one, and re-runs the forall-k analysis; stops when certified, when
+    no component helps, or at ``max_components``.
+    """
+    all_names = component_names(machine)
+    budget = max_components if max_components is not None else len(all_names)
+    chosen: List[Hashable] = []
+    history: List[Tuple[Hashable, int]] = []
+    current = machine
+    report = analyze_forall_k(current, max_k=max_k)
+    while not report.holds and len(chosen) < budget:
+        scores = residual_components(current, report)
+        candidates = {
+            name: score
+            for name, score in scores.items()
+            if name not in chosen and score > 0
+        }
+        if not candidates:
+            break
+        best = min(
+            candidates, key=lambda name: (-candidates[name], repr(name))
+        )
+        chosen.append(best)
+        current = observe_state_component(
+            machine, _observer(chosen), name=machine.name + "+auto"
+        )
+        report = analyze_forall_k(current, max_k=max_k)
+        history.append((best, len(report.residual_pairs)))
+    return ObservationPlan(
+        components=tuple(chosen),
+        certified=report.holds,
+        k=report.k,
+        history=tuple(history),
+    )
+
+
+def auto_observe(
+    machine: MealyMachine,
+    max_components: Optional[int] = None,
+    max_k: Optional[int] = None,
+) -> Tuple[MealyMachine, ObservationPlan]:
+    """Apply :func:`suggest_observations`; return (enriched machine,
+    plan).  The machine is returned unmodified when no observation was
+    needed or none helped."""
+    plan = suggest_observations(
+        machine, max_components=max_components, max_k=max_k
+    )
+    if not plan.components:
+        return machine, plan
+    enriched = observe_state_component(
+        machine, _observer(plan.components), name=machine.name + "+auto"
+    )
+    return enriched, plan

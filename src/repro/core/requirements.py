@@ -1,0 +1,262 @@
+"""Requirements 1-5 of the paper as executable checks.
+
+The paper's completeness theorems are conditional: a transition tour of
+the test model is a complete test set *provided* the test model (and
+the design class) satisfy five requirements.  Each check here returns a
+:class:`RequirementResult` carrying a verdict plus the concrete
+violations, so a failed requirement is a diagnosis ("this is the state
+you abstracted away and should not have"), not just a boolean.
+
+============  =====================================================
+Requirement   Check
+============  =====================================================
+R1            :func:`check_uniform_output_errors` -- the abstraction
+              keeps enough state that outputs are a function of
+              (abstract state, input); equivalently the quotient test
+              model is output-deterministic.  (Section 6.3 shows this
+              is the practical content of "all output errors are
+              uniform".)
+R2            :func:`check_bounded_latency` -- every input's
+              processing completes within k transitions.
+R3            :func:`check_unique_outputs` -- each unique input yields
+              a unique output (enforceable by data selection).
+R4            :func:`check_no_masking` -- no transfer error is masked
+              by a later one (checked per faulty implementation, or
+              guaranteed by a single-fault discipline).
+R5            :func:`check_interaction_observable` -- interaction
+              state is visible in the outputs.
+============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .abstraction import StateMap, quotient
+from .errors import masking_pairs
+from .mealy import Input, MealyMachine, NondetMealyMachine, Output, State
+
+
+@dataclass(frozen=True)
+class RequirementResult:
+    """Outcome of checking one paper requirement.
+
+    Attributes
+    ----------
+    requirement:
+        Short identifier, e.g. ``"R1"``.
+    passed:
+        Verdict.
+    violations:
+        Concrete counterexamples (shape depends on the requirement);
+        empty when ``passed``.
+    detail:
+        Human-readable summary for reports.
+    """
+
+    requirement: str
+    passed: bool
+    violations: Tuple[Hashable, ...]
+    detail: str
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.requirement}: {self.detail}"
+
+
+def check_uniform_output_errors(
+    concrete: MealyMachine,
+    state_map: StateMap,
+    max_report: int = 10,
+) -> RequirementResult:
+    """Requirement 1 via the Section 6.3 criterion.
+
+    An output error on an abstract transition is uniform iff detection
+    does not depend on the concrete history hidden behind the abstract
+    state.  That holds exactly when the abstraction keeps every state
+    distinction that influences outputs -- i.e. when the quotient
+    machine is output-deterministic.  Violations list the abstract
+    (state, input) pairs whose concrete preimages disagree on output:
+    each one is a place where the model "abstracted too much" (the
+    interlock example: dropping the destination-register address merges
+    hazard and no-hazard histories that output differently).
+    """
+    abstract = quotient(concrete, state_map)
+    bad = abstract.output_nondeterministic_pairs()
+    if not bad:
+        return RequirementResult(
+            requirement="R1",
+            passed=True,
+            violations=(),
+            detail=(
+                "quotient is output-deterministic; output errors on "
+                "abstract transitions are uniform"
+            ),
+        )
+    return RequirementResult(
+        requirement="R1",
+        passed=False,
+        violations=tuple(bad[:max_report]),
+        detail=(
+            f"{len(bad)} abstract (state, input) pairs have "
+            f"history-dependent outputs; the abstraction dropped "
+            f"output-relevant state"
+        ),
+    )
+
+
+def check_uniformity_of_model(
+    abstract: NondetMealyMachine, max_report: int = 10
+) -> RequirementResult:
+    """Requirement 1 on an already-built nondeterministic test model."""
+    bad = abstract.output_nondeterministic_pairs()
+    return RequirementResult(
+        requirement="R1",
+        passed=not bad,
+        violations=tuple(bad[:max_report]),
+        detail=(
+            "output-deterministic"
+            if not bad
+            else f"{len(bad)} output-nondeterministic (state, input) pairs"
+        ),
+    )
+
+
+def check_bounded_latency(
+    latencies: Iterable[Tuple[Hashable, int]],
+    k: int,
+) -> RequirementResult:
+    """Requirement 2: processing completes within ``k`` transitions.
+
+    ``latencies`` associates each processed input (e.g. each retired
+    instruction) with the number of transitions between the start of
+    its processing and its output becoming observable.  For the DLX
+    pipeline this is measured by the validation harness: issue cycle to
+    write-back cycle, stalls included.
+    """
+    late = [(tag, lat) for tag, lat in latencies if lat > k]
+    return RequirementResult(
+        requirement="R2",
+        passed=not late,
+        violations=tuple(late[:10]),
+        detail=(
+            f"all processing completed within k={k} transitions"
+            if not late
+            else f"{len(late)} inputs exceeded k={k} transitions, "
+            f"worst={max(lat for _t, lat in late)}"
+        ),
+    )
+
+
+def check_unique_outputs(
+    machine: MealyMachine, max_report: int = 10
+) -> RequirementResult:
+    """Requirement 3: each unique input results in a unique output.
+
+    Checked per state: two distinct inputs from the same state must
+    produce distinct outputs.  (In the methodology this is *made* true
+    by data selection during input filling -- see
+    :mod:`repro.validation.testgen` -- rather than being an intrinsic
+    property; this check verifies the selection succeeded.)
+    """
+    clashes: List[Tuple[State, Input, Input, Output]] = []
+    for s in sorted(machine.states, key=repr):
+        seen = {}
+        for t in sorted(machine.transitions_from(s), key=repr):
+            if t.out in seen and seen[t.out] != t.inp:
+                clashes.append((s, seen[t.out], t.inp, t.out))
+            else:
+                seen[t.out] = t.inp
+    return RequirementResult(
+        requirement="R3",
+        passed=not clashes,
+        violations=tuple(clashes[:max_report]),
+        detail=(
+            "outputs are injective per state"
+            if not clashes
+            else f"{len(clashes)} states map distinct inputs to the "
+            f"same output"
+        ),
+    )
+
+
+def check_no_masking(
+    spec: MealyMachine,
+    impl: MealyMachine,
+    horizon: int,
+) -> RequirementResult:
+    """Requirement 4: no transfer error of ``impl`` is masked.
+
+    Brute-force search (up to ``horizon`` steps) for a run whose state
+    divergence window closes before the end -- the Definition 4 masking
+    pattern.  Single transfer faults on machines without convergent
+    error edges pass trivially; multi-fault implementations may not.
+    """
+    witness = next(iter(masking_pairs(spec, impl, horizon)), None)
+    if witness is None:
+        return RequirementResult(
+            requirement="R4",
+            passed=True,
+            violations=(),
+            detail=f"no masked transfer error within horizon {horizon}",
+        )
+    seq, window = witness
+    return RequirementResult(
+        requirement="R4",
+        passed=False,
+        violations=(witness,),
+        detail=(
+            f"transfer error masked on input sequence {seq!r} "
+            f"(divergence window {window})"
+        ),
+    )
+
+
+def check_interaction_observable(
+    machine: MealyMachine,
+    interaction: Callable[[State], Hashable],
+    recover: Callable[[Output], Hashable],
+    max_report: int = 10,
+) -> RequirementResult:
+    """Requirement 5: interaction state is observable in the outputs.
+
+    ``interaction(state)`` extracts the s2 component of the paper's
+    state split (the part "needed by subsequent inputs", e.g. the
+    destination-register address and PSW flags).  ``recover(output)``
+    extracts the corresponding field from an output.  The check demands
+    that every transition's output reveals the interaction component of
+    the state it *leaves* -- the state the machine occupied while
+    processing, which is what a transfer error corrupts and what
+    simulation must therefore be able to see (Case 2 of Section 5.1).
+    """
+    bad: List[Tuple[State, Input]] = []
+    for t in machine.transitions:
+        if recover(t.out) != interaction(t.src):
+            bad.append((t.src, t.inp))
+    return RequirementResult(
+        requirement="R5",
+        passed=not bad,
+        violations=tuple(bad[:max_report]),
+        detail=(
+            "interaction state visible on every transition"
+            if not bad
+            else f"{len(bad)} transitions hide the interaction state"
+        ),
+    )
+
+
+def summarize(results: Sequence[RequirementResult]) -> str:
+    """A multi-line report over several requirement checks."""
+    return "\n".join(str(r) for r in results)

@@ -1,0 +1,149 @@
+"""Theorems 1-3 as decision procedures (completeness certificates).
+
+The paper's results are of the form "if the test model satisfies
+properties P, then *any* transition tour of it is a complete test
+set".  This module turns each theorem into a certificate constructor:
+it checks the hypotheses mechanically and returns a
+:class:`CompletenessCertificate` that records which held, the derived
+horizon ``k``, and -- when the hypotheses fail -- the diagnostic
+counterexamples.  The fault-injection campaigns in
+:mod:`repro.faults.campaign` then validate the certificates
+empirically: certified models achieve 100% single-fault coverage from
+any tour; uncertified models exhibit escapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from .abstraction import StateMap
+from .distinguish import ForallKReport, analyze_forall_k
+from .mealy import MealyMachine
+from .requirements import (
+    RequirementResult,
+    check_uniform_output_errors,
+    check_unique_outputs,
+)
+
+
+@dataclass(frozen=True)
+class CompletenessCertificate:
+    """Verdict that a transition tour of ``model`` is a complete test set.
+
+    Attributes
+    ----------
+    theorem:
+        Which theorem produced the certificate ("theorem1" or
+        "theorem3").
+    complete:
+        True iff all hypotheses were established; then Theorem 1/3
+        guarantees any transition tour exposes every output and
+        (unmasked) transfer error.
+    k:
+        The distinguishing horizon: after exciting a transfer error,
+        any ``k`` further transitions of the tour expose it.  The
+        simulator must therefore run ``k`` steps past the last
+        transition of interest ("the simulator must also know how long
+        to simulate").  None when not established.
+    requirement_results:
+        The individual requirement verdicts backing the certificate.
+    forall_k:
+        The underlying distinguishability report.
+    """
+
+    theorem: str
+    complete: bool
+    k: Optional[int]
+    requirement_results: Tuple[RequirementResult, ...]
+    forall_k: Optional[ForallKReport]
+
+    def explain(self) -> str:
+        """Multi-line human-readable account of the verdict."""
+        lines = [
+            f"{self.theorem}: transition tours are "
+            + ("COMPLETE" if self.complete else "NOT certified complete")
+        ]
+        if self.k is not None:
+            lines.append(
+                f"  distinguishing horizon k = {self.k} "
+                f"(simulate k steps past the last covered transition)"
+            )
+        for r in self.requirement_results:
+            lines.append("  " + str(r))
+        if self.forall_k is not None and not self.forall_k.holds:
+            pairs = sorted(self.forall_k.residual_pairs, key=repr)[:5]
+            lines.append(
+                f"  forall-k-distinguishability FAILS; residual pairs "
+                f"(showing <=5): {pairs}"
+            )
+        return "\n".join(lines)
+
+
+def theorem1_certificate(
+    model: MealyMachine,
+    uniformity: RequirementResult,
+    max_k: Optional[int] = None,
+) -> CompletenessCertificate:
+    """Theorem 1: R1 + forall-k-distinguishability => tour completeness.
+
+    ``model`` is the (deterministic, input-complete over valid inputs)
+    test model; ``uniformity`` is a Requirement 1 verdict produced by
+    :func:`~repro.core.requirements.check_uniform_output_errors` or
+    :func:`~repro.core.requirements.check_uniformity_of_model` against
+    the abstraction that built the model.
+    """
+    report = analyze_forall_k(model, max_k=max_k)
+    complete = bool(uniformity) and report.holds
+    return CompletenessCertificate(
+        theorem="theorem1",
+        complete=complete,
+        k=report.k if complete else None,
+        requirement_results=(uniformity,),
+        forall_k=report,
+    )
+
+
+def theorem1_certificate_from_abstraction(
+    concrete: MealyMachine,
+    state_map: StateMap,
+    model: MealyMachine,
+    max_k: Optional[int] = None,
+) -> CompletenessCertificate:
+    """Theorem 1 with Requirement 1 checked against the abstraction.
+
+    Convenience wrapper: derives the R1 verdict from
+    (``concrete``, ``state_map``) and certifies ``model`` (normally the
+    determinized quotient itself).
+    """
+    uniformity = check_uniform_output_errors(concrete, state_map)
+    return theorem1_certificate(model, uniformity, max_k=max_k)
+
+
+def theorem3_certificate(
+    model: MealyMachine,
+    requirement_results: Sequence[RequirementResult],
+    max_k: Optional[int] = None,
+) -> CompletenessCertificate:
+    """Theorems 2+3: R1-R5 => forall-k-distinguishability => completeness.
+
+    ``requirement_results`` carries the R1-R5 verdicts gathered by the
+    caller (R2/R4/R5 are properties of the design and the fault
+    discipline, measured by the validation harness; R3 is checked on
+    the model here if absent).  The forall-k analysis is still run on
+    the model -- Theorem 2 says the requirements *imply* it, so on a
+    correctly derived model this is a consistency check that also
+    yields the concrete horizon ``k``.
+    """
+    results = list(requirement_results)
+    if not any(r.requirement == "R3" for r in results):
+        results.append(check_unique_outputs(model))
+    report = analyze_forall_k(model, max_k=max_k)
+    complete = all(bool(r) for r in results) and report.holds
+    return CompletenessCertificate(
+        theorem="theorem3",
+        complete=complete,
+        k=report.k if complete else None,
+        requirement_results=tuple(results),
+        forall_k=report,
+    )

@@ -1,0 +1,143 @@
+"""The design-error catalog for the DLX validation experiments.
+
+Each entry is one realistic pipeline-control bug -- the kind of error
+the hybrid methodology targets ("corner cases" in interlock, bypass
+and squash logic) -- realized as a :class:`PipelineBugs` configuration
+for :class:`~repro.dlx.pipeline.PipelinedDLX`.
+
+The catalog is the *error population* of the DLX experiments
+(DESIGN.md THM23): a test set validates the implementation iff every
+catalog bug makes some checkpoint comparison fail.  Entries record
+which control mechanism they corrupt, so results can be broken down
+the way the paper discusses them (interlock vs bypass vs squash vs
+observability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .pipeline import PipelineBugs
+
+
+@dataclass(frozen=True)
+class BugEntry:
+    """One catalogued design error."""
+
+    name: str
+    mechanism: str  # interlock | bypass | squash | observability | linkage
+    description: str
+    bugs: PipelineBugs
+
+
+BUG_CATALOG: Tuple[BugEntry, ...] = (
+    BugEntry(
+        name="interlock_dropped",
+        mechanism="interlock",
+        description=(
+            "Load-use hazard detection removed: a dependent instruction "
+            "one slot behind a load receives the load's effective "
+            "address from the EX/MEM bypass instead of the loaded data. "
+            "This is the Section 6.3 interlock error."
+        ),
+        bugs=PipelineBugs(disable_interlock=True),
+    ),
+    BugEntry(
+        name="interlock_misses_rs2",
+        mechanism="interlock",
+        description=(
+            "Interlock checks only the first source register; hazards "
+            "through the second operand (R-type rs2, store data) "
+            "escape -- the classic asymmetric-hazard corner case."
+        ),
+        bugs=PipelineBugs(interlock_misses_rs2=True),
+    ),
+    BugEntry(
+        name="bypass_exmem_missing",
+        mechanism="bypass",
+        description=(
+            "EX/MEM -> EX forwarding path absent: distance-1 "
+            "dependences read stale register-file values."
+        ),
+        bugs=PipelineBugs(no_forward_exmem=True),
+    ),
+    BugEntry(
+        name="bypass_memwb_missing",
+        mechanism="bypass",
+        description=(
+            "MEM/WB -> EX forwarding path absent: distance-2 "
+            "dependences read stale register-file values."
+        ),
+        bugs=PipelineBugs(no_forward_memwb=True),
+    ),
+    BugEntry(
+        name="bypass_priority_inverted",
+        mechanism="bypass",
+        description=(
+            "When both bypass sources carry the register, the older "
+            "(MEM/WB) value wins -- wrong exactly on back-to-back "
+            "writes to the same destination."
+        ),
+        bugs=PipelineBugs(wrong_forward_priority=True),
+    ),
+    BugEntry(
+        name="store_data_not_forwarded",
+        mechanism="bypass",
+        description=(
+            "The store-data operand is not on the bypass network; SW "
+            "one or two slots behind its producer writes stale data."
+        ),
+        bugs=PipelineBugs(no_store_data_forward=True),
+    ),
+    BugEntry(
+        name="squash_misses_delay_slot",
+        mechanism="squash",
+        description=(
+            "A taken branch kills only the instruction being fetched; "
+            "the wrong-path instruction already decoded executes."
+        ),
+        bugs=PipelineBugs(squash_only_one=True),
+    ),
+    BugEntry(
+        name="squash_absent",
+        mechanism="squash",
+        description=(
+            "Taken branches redirect fetch without killing either "
+            "wrong-path instruction; both execute."
+        ),
+        bugs=PipelineBugs(no_squash=True),
+    ),
+    BugEntry(
+        name="psw_misses_immediates",
+        mechanism="observability",
+        description=(
+            "The PSW condition flags are not updated by ALU-immediate "
+            "instructions -- an error in exactly the interaction state "
+            "Requirement 5 makes observable."
+        ),
+        bugs=PipelineBugs(psw_skips_immediates=True),
+    ),
+    BugEntry(
+        name="link_address_off_by_one",
+        mechanism="linkage",
+        description=(
+            "JAL/JALR write PC+2 instead of PC+1 into the link "
+            "register."
+        ),
+        bugs=PipelineBugs(jal_links_wrong_pc=True),
+    ),
+)
+
+
+def catalog_by_name() -> Dict[str, BugEntry]:
+    """The catalog indexed by bug name."""
+    return {entry.name: entry for entry in BUG_CATALOG}
+
+
+def catalog_by_mechanism() -> Dict[str, Tuple[BugEntry, ...]]:
+    """The catalog grouped by corrupted control mechanism."""
+    grouped: Dict[str, list] = {}
+    for entry in BUG_CATALOG:
+        grouped.setdefault(entry.mechanism, []).append(entry)
+    return {k: tuple(v) for k, v in grouped.items()}

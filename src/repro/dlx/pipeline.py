@@ -1,0 +1,498 @@
+"""The 5-stage pipelined DLX -- the *implementation* under validation.
+
+A cycle-accurate model of the case-study design (Section 7): "a
+standard 5-stage pipeline ... with interlock detection, bypassing,
+squashing and stalling":
+
+* **IF** fetch, **ID** decode + register read + interlock, **EX** ALU,
+  branch resolution and operand bypassing, **MEM** data memory,
+  **WB** register writeback + PSW update + retirement.
+* **Interlock**: a load in EX whose destination is read by the
+  instruction in ID stalls the front end for one cycle (load-use
+  hazard; the loaded value is only available after MEM).
+* **Bypassing**: EX operands are forwarded from EX/MEM (ALU results;
+  for loads that latch holds the *address*, which is exactly why the
+  interlock exists) and from MEM/WB (ALU results and load data).
+  Store data is forwarded on the same network.
+* **Squashing**: control transfers resolve in EX with
+  predict-not-taken fetch; a taken branch/jump kills the two
+  wrong-path instructions behind it and redirects fetch.
+
+Retirement produces the same :class:`~repro.dlx.behavioral.Checkpoint`
+records as the behavioral simulator, enabling the Figure 1
+checkpointed comparison.  Every control decision taken in a cycle is
+recorded in a :class:`ControlTrace` entry; the test suite checks these
+traces against the control *netlist* of :mod:`repro.dlx.control`,
+tying the Python implementation to the model the test model is
+abstracted from.
+
+The :class:`PipelineBugs` knobs inject realistic design errors
+(interlock dropped, bypass path missing, squash miscounted, ...) --
+the error population for the DLX validation experiments; see
+:mod:`repro.dlx.buggy` for the catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .behavioral import PSW, Checkpoint, ExecutionError, alu
+from .isa import (
+    ALU_IMM_OPS,
+    NUM_REGS,
+    PSW_OPS,
+    R_TYPE_OPS,
+    WORD_MASK,
+    Instruction,
+    Op,
+)
+
+
+@dataclass(frozen=True)
+class PipelineBugs:
+    """Design-error injection knobs (all False = correct design)."""
+
+    disable_interlock: bool = False
+    """Load-use hazard not detected: the consumer receives the load's
+    *address* from the EX/MEM bypass instead of the loaded data."""
+
+    no_forward_exmem: bool = False
+    """EX/MEM -> EX bypass path missing: distance-1 ALU dependencies
+    read stale register values."""
+
+    no_forward_memwb: bool = False
+    """MEM/WB -> EX bypass path missing: distance-2 dependencies read
+    stale register values."""
+
+    wrong_forward_priority: bool = False
+    """Bypass priority inverted: when both EX/MEM and MEM/WB carry the
+    register, the *older* value wins (wrong for back-to-back writes)."""
+
+    interlock_misses_rs2: bool = False
+    """Interlock checks only the first source register: load-use
+    hazards through rs2 (R-type second operand, store data) escape."""
+
+    squash_only_one: bool = False
+    """Taken branches kill only the instruction being fetched; the one
+    already in IF/ID (wrong path) is allowed to execute."""
+
+    no_squash: bool = False
+    """Taken branches redirect fetch but squash nothing: both
+    wrong-path instructions execute."""
+
+    no_store_data_forward: bool = False
+    """Store data not on the bypass network: SW may write stale data."""
+
+    psw_skips_immediates: bool = False
+    """PSW condition flags not updated by ALU-immediate instructions."""
+
+    jal_links_wrong_pc: bool = False
+    """JAL/JALR write PC+2 instead of PC+1 to the link register."""
+
+    def any_active(self) -> bool:
+        """True iff at least one bug knob is set."""
+        return any(getattr(self, f) for f in self.__dataclass_fields__)
+
+
+@dataclass(frozen=True)
+class _InFlight:
+    """An instruction travelling down the pipe with its bookkeeping."""
+
+    instr: Instruction
+    pc: int
+    seq: int  # fetch sequence number (diagnostics only)
+    a: int = 0           # first operand read in ID
+    b: int = 0           # second operand read in ID
+    store_data: int = 0  # rs2 value for SW
+    value: int = 0       # ALU result / load data / link value
+    next_pc: int = 0     # resolved at EX
+    taken: bool = False
+    mem_write: Optional[Tuple[int, int]] = None
+
+
+@dataclass(frozen=True)
+class ControlTrace:
+    """The control decisions of one clock cycle.
+
+    This is the implementation-side ground truth the control netlist
+    (:mod:`repro.dlx.control`) must agree with.
+    """
+
+    cycle: int
+    stall: bool
+    squash: bool
+    fwd_a: str  # "none" | "exmem" | "memwb"
+    fwd_b: str
+    fwd_store: str
+    branch_taken: bool
+    id_valid: bool
+    ex_valid: bool
+    mem_valid: bool
+    wb_valid: bool
+    ex_is_load: bool
+    # Netlist co-verification inputs: what was fetched this cycle (None
+    # when the front end could not fetch), and the EX-stage branch-test
+    # result from the bypass-fed comparator (the datapath status signal
+    # the test model sees as the primary input ``data_zero``).
+    fetched: Optional[Instruction] = None
+    can_fetch: bool = False
+    ex_a_zero: bool = False
+
+
+class PipelinedDLX:
+    """Cycle-accurate 5-stage pipelined DLX."""
+
+    def __init__(
+        self,
+        program: Sequence[Instruction],
+        data: Optional[Dict[int, int]] = None,
+        bugs: Optional[PipelineBugs] = None,
+        branch_oracle: Optional[Sequence[bool]] = None,
+    ) -> None:
+        self.program: Tuple[Instruction, ...] = tuple(program)
+        self.bugs = bugs or PipelineBugs()
+        # Forced branch-test results (see BehavioralDLX): consumed one
+        # per conditional branch resolved in EX.  In a correct design
+        # every EX-resolved branch is architectural (squash kills
+        # wrong-path instructions before EX), so the consumption order
+        # matches the behavioral model's.
+        self._branch_oracle = (
+            list(branch_oracle) if branch_oracle is not None else None
+        )
+        self._branch_index = 0
+        self.pc = 0
+        self.regs: List[int] = [0] * NUM_REGS
+        self.psw = PSW()
+        self.memory: Dict[int, int] = dict(data) if data else {}
+        self.halted = False
+        self.cycle_count = 0
+        self.retired = 0
+        self._fetch_seq = 0
+        # Pipeline latches (None = bubble).
+        self.if_id: Optional[_InFlight] = None
+        self.id_ex: Optional[_InFlight] = None
+        self.ex_mem: Optional[_InFlight] = None
+        self.mem_wb: Optional[_InFlight] = None
+        self.trace: List[ControlTrace] = []
+        self.checkpoints: List[Checkpoint] = []
+        # Per-instruction latency measurements for Requirement 2.
+        self.issue_cycle: Dict[int, int] = {}
+        self.latencies: List[Tuple[Instruction, int]] = []
+
+    # ------------------------------------------------------------------
+    def read_reg(self, index: int) -> int:
+        return 0 if index == 0 else self.regs[index] & WORD_MASK
+
+    def write_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.regs[index] = value & WORD_MASK
+
+    # ------------------------------------------------------------------
+    # Forwarding network
+    # ------------------------------------------------------------------
+    def _forward(
+        self, reg: int, fallback: int
+    ) -> Tuple[int, str]:
+        """Resolve an EX-stage operand through the bypass network.
+
+        Returns (value, source) with source in none/exmem/memwb.  The
+        EX/MEM tap reads the ALU-out latch -- for loads that is the
+        effective address, never the data, which is why a correct
+        design interlocks instead of forwarding that case.
+        """
+        if reg == 0:
+            return 0, "none"
+        exmem_hit = (
+            self.ex_mem is not None
+            and self.ex_mem.instr.writes_reg
+            and self.ex_mem.instr.dest == reg
+            and not self.bugs.no_forward_exmem
+        )
+        memwb_hit = (
+            self.mem_wb is not None
+            and self.mem_wb.instr.writes_reg
+            and self.mem_wb.instr.dest == reg
+            and not self.bugs.no_forward_memwb
+        )
+        if self.bugs.wrong_forward_priority and memwb_hit:
+            return self.mem_wb.value, "memwb"
+        if exmem_hit:
+            assert self.ex_mem is not None
+            if self.ex_mem.instr.is_load and not self.bugs.any_active():
+                raise ExecutionError(
+                    "load-use forwarding from EX/MEM reached with the "
+                    "interlock enabled -- hazard logic broken"
+                )
+            return self.ex_mem.value, "exmem"
+        if memwb_hit:
+            assert self.mem_wb is not None
+            return self.mem_wb.value, "memwb"
+        return fallback, "none"
+
+    def _branch_zero(self, forwarded_value: int) -> bool:
+        """The EX branch-test result, oracle-forced when provided."""
+        if (
+            self._branch_oracle is not None
+            and self._branch_index < len(self._branch_oracle)
+        ):
+            result = self._branch_oracle[self._branch_index]
+            self._branch_index += 1
+            return result
+        self._branch_index += 1
+        return forwarded_value == 0
+
+    def _interlock_needed(self) -> bool:
+        """Load-use hazard between the load in EX and the reader in ID."""
+        if self.bugs.disable_interlock:
+            return False
+        if self.id_ex is None or not self.id_ex.instr.is_load:
+            return False
+        if self.if_id is None:
+            return False
+        dest = self.id_ex.instr.dest
+        if dest == 0:
+            return False
+        sources = self.if_id.instr.sources
+        if self.bugs.interlock_misses_rs2:
+            sources = sources[:1]
+        return dest in sources
+
+    # ------------------------------------------------------------------
+    # One clock cycle
+    # ------------------------------------------------------------------
+    def cycle(self) -> None:
+        """Advance the pipeline by one clock."""
+        if self.halted:
+            return
+        self.cycle_count += 1
+        bugs = self.bugs
+
+        # ---------------- WB (uses last cycle's MEM/WB latch) ----------
+        wb = self.mem_wb
+        if wb is not None:
+            instr = wb.instr
+            if instr.writes_reg:
+                self.write_reg(instr.dest, wb.value)
+            updates_psw = instr.op in PSW_OPS
+            if bugs.psw_skips_immediates and instr.op in ALU_IMM_OPS:
+                updates_psw = False
+            if updates_psw:
+                self.psw = PSW.of(wb.value)
+            self.checkpoints.append(
+                Checkpoint(
+                    index=self.retired,
+                    instruction=instr,
+                    pc_after=wb.next_pc,
+                    regs=tuple(
+                        0 if i == 0 else self.regs[i] for i in range(NUM_REGS)
+                    ),
+                    psw=self.psw,
+                    mem_write=wb.mem_write,
+                )
+            )
+            self.retired += 1
+            self.latencies.append(
+                (instr, self.cycle_count - self.issue_cycle.get(wb.seq, 0))
+            )
+            if instr.op == Op.HALT:
+                self.halted = True
+
+        # ---------------- MEM -----------------------------------------
+        mem_out: Optional[_InFlight] = None
+        if self.ex_mem is not None:
+            stage = self.ex_mem
+            instr = stage.instr
+            if instr.is_load:
+                mem_out = replace(
+                    stage, value=self.memory.get(stage.value & WORD_MASK, 0)
+                )
+            elif instr.is_store:
+                address = stage.value & WORD_MASK
+                data = stage.store_data & WORD_MASK
+                self.memory[address] = data
+                mem_out = replace(stage, mem_write=(address, data))
+            else:
+                mem_out = stage
+
+        # ---------------- EX -------------------------------------------
+        ex_out: Optional[_InFlight] = None
+        redirect: Optional[int] = None
+        fwd_a = fwd_b = fwd_store = "none"
+        branch_taken = False
+        ex_a_zero = False
+        if self.id_ex is not None:
+            stage = self.id_ex
+            instr = stage.instr
+            op = instr.op
+            a, fwd_a = self._forward(
+                instr.rs1 if instr.sources else 0, stage.a
+            )
+            ex_a_zero = a == 0
+            next_pc = stage.pc + 1
+            value = 0
+            store_data = stage.store_data
+            taken = False
+            if op in R_TYPE_OPS:
+                b, fwd_b = self._forward(instr.rs2, stage.b)
+                value = alu(op, a, b)
+            elif op in ALU_IMM_OPS:
+                value = alu(op, a, instr.imm)
+            elif op == Op.LW:
+                value = (a + instr.imm) & WORD_MASK  # effective address
+            elif op == Op.SW:
+                value = (a + instr.imm) & WORD_MASK
+                if not bugs.no_store_data_forward:
+                    store_data, fwd_store = self._forward(
+                        instr.rs2, stage.store_data
+                    )
+            elif op == Op.BEQZ:
+                taken = self._branch_zero(a)
+                if taken:
+                    next_pc = stage.pc + 1 + instr.imm
+            elif op == Op.BNEZ:
+                taken = not self._branch_zero(a)
+                if taken:
+                    next_pc = stage.pc + 1 + instr.imm
+            elif op == Op.J:
+                taken = True
+                next_pc = stage.pc + 1 + instr.imm
+            elif op == Op.JAL:
+                taken = True
+                next_pc = stage.pc + 1 + instr.imm
+                value = stage.pc + (2 if bugs.jal_links_wrong_pc else 1)
+            elif op == Op.JR:
+                taken = True
+                next_pc = a
+            elif op == Op.JALR:
+                taken = True
+                next_pc = a
+                value = stage.pc + (2 if bugs.jal_links_wrong_pc else 1)
+            # NOP/HALT: nothing to compute.
+            branch_taken = taken
+            if taken:
+                redirect = next_pc
+            ex_out = replace(
+                stage,
+                value=value,
+                store_data=store_data,
+                next_pc=next_pc,
+                taken=taken,
+            )
+
+        # ---------------- ID (interlock + register read) ---------------
+        stall = self._interlock_needed()
+        id_out: Optional[_InFlight] = None
+        if self.if_id is not None and not stall:
+            stage = self.if_id
+            instr = stage.instr
+            id_out = replace(
+                stage,
+                a=self.read_reg(instr.rs1),
+                b=self.read_reg(instr.rs2),
+                store_data=self.read_reg(instr.rs2),
+            )
+
+        # ---------------- Squash decisions -----------------------------
+        # A taken control transfer resolved in EX leaves two wrong-path
+        # instructions behind it: the one decoded this cycle (id_out)
+        # and the one fetched this cycle.  A correct design kills both;
+        # the squash bugs let one or both survive.
+        squash = redirect is not None
+        kill_id = squash and not (bugs.no_squash or bugs.squash_only_one)
+        kill_fetch = squash and not bugs.no_squash
+        if kill_id:
+            id_out = None
+
+        # ---------------- IF -------------------------------------------
+        fetch_out: Optional[_InFlight] = None
+        fetch_pc = self.pc
+        new_pc = self.pc
+        halt_inflight = any(
+            latch is not None and latch.instr.op == Op.HALT
+            for latch in (self.if_id, self.id_ex, self.ex_mem, self.mem_wb)
+        )
+        if stall:
+            new_pc = self.pc  # hold fetch; IF/ID keeps its instruction
+        else:
+            can_fetch = (
+                not halt_inflight and 0 <= self.pc < len(self.program)
+            )
+            if can_fetch:
+                instr = self.program[self.pc]
+                fetch_out = _InFlight(
+                    instr=instr, pc=self.pc, seq=self._fetch_seq
+                )
+                self.issue_cycle[self._fetch_seq] = self.cycle_count
+                self._fetch_seq += 1
+                new_pc = self.pc + 1
+            if redirect is not None:
+                # All variants redirect the PC; only the correct design
+                # (and squash_only_one) also kills this cycle's fetch.
+                new_pc = redirect
+                if kill_fetch:
+                    fetch_out = None
+
+        # ---------------- Latch updates --------------------------------
+        self.trace.append(
+            ControlTrace(
+                cycle=self.cycle_count,
+                stall=stall,
+                squash=squash,
+                fwd_a=fwd_a,
+                fwd_b=fwd_b,
+                fwd_store=fwd_store,
+                branch_taken=branch_taken,
+                id_valid=self.if_id is not None,
+                ex_valid=self.id_ex is not None,
+                mem_valid=self.ex_mem is not None,
+                wb_valid=wb is not None,
+                ex_is_load=self.id_ex is not None
+                and self.id_ex.instr.is_load,
+                fetched=fetch_out.instr if fetch_out is not None else None,
+                can_fetch=not stall
+                and not halt_inflight
+                and 0 <= fetch_pc < len(self.program),
+                ex_a_zero=ex_a_zero,
+            )
+        )
+        self.mem_wb = mem_out
+        self.ex_mem = ex_out
+        self.id_ex = id_out
+        if not stall:
+            self.if_id = fetch_out  # on stall, IF/ID holds its instruction
+        self.pc = new_pc
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 500_000) -> List[Checkpoint]:
+        """Run to HALT retirement; returns the checkpoint stream.
+
+        Raises
+        ------
+        ExecutionError
+            If the pipeline does not halt within ``max_cycles`` (buggy
+            variants may livelock; callers of fault campaigns catch
+            this and count it as a detection, since the correct design
+            always halts).
+        """
+        for _cycle in range(max_cycles):
+            if self.halted:
+                return self.checkpoints
+            self.cycle()
+        raise ExecutionError(
+            f"pipeline did not halt within {max_cycles} cycles"
+        )
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per retired instruction (diagnostics)."""
+        if not self.retired:
+            return float("nan")
+        return self.cycle_count / self.retired
+
+    def max_latency(self) -> int:
+        """Worst observed fetch-to-retire latency -- the pipeline's
+        empirical ``k`` for Requirement 2."""
+        if not self.latencies:
+            return 0
+        return max(lat for _instr, lat in self.latencies)

@@ -1,0 +1,199 @@
+"""DLX program workloads: directed hazard stressors and random programs.
+
+The validation harness needs instruction streams in two flavours:
+
+* **directed** programs that provoke the pipeline's interesting
+  control behaviour (load-use interlocks, back-to-back bypasses,
+  taken/untaken branches, squash windows) -- the corner cases whose
+  coverage motivates the methodology;
+* **random** programs for differential co-simulation of the pipeline
+  against the ISA-level specification, with construction constraints
+  (forward-only control transfers, terminal HALT) that guarantee
+  termination.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from .isa import HALT, Instruction, NOP, Op
+
+
+def fibonacci(n: int = 10) -> List[Instruction]:
+    """Iterative Fibonacci: leaves fib(n) in r3, exercises a backward
+    branch loop with data dependences."""
+    return [
+        Instruction(Op.ADDI, rd=1, rs1=0, imm=n),    # r1 = n (counter)
+        Instruction(Op.ADDI, rd=2, rs1=0, imm=0),    # r2 = fib(i-1)
+        Instruction(Op.ADDI, rd=3, rs1=0, imm=1),    # r3 = fib(i)
+        # loop:
+        Instruction(Op.BEQZ, rs1=1, imm=5),          # while r1 != 0
+        Instruction(Op.ADD, rd=4, rs1=2, rs2=3),     # r4 = r2 + r3
+        Instruction(Op.ADD, rd=2, rs1=3, rs2=0),     # r2 = r3
+        Instruction(Op.ADD, rd=3, rs1=4, rs2=0),     # r3 = r4
+        Instruction(Op.SUBI, rd=1, rs1=1, imm=1),    # r1 -= 1
+        Instruction(Op.J, imm=-6),                   # back to loop
+        HALT,
+    ]
+
+
+def memcpy_program(words: int = 4, src: int = 100, dst: int = 200) -> List[Instruction]:
+    """Copy ``words`` words with a load/store loop: load-use hazards on
+    every iteration plus an induction-variable dependence chain."""
+    return [
+        Instruction(Op.ADDI, rd=1, rs1=0, imm=src),   # r1 = src ptr
+        Instruction(Op.ADDI, rd=2, rs1=0, imm=dst),   # r2 = dst ptr
+        Instruction(Op.ADDI, rd=3, rs1=0, imm=words), # r3 = count
+        # loop:
+        Instruction(Op.BEQZ, rs1=3, imm=6),
+        Instruction(Op.LW, rd=4, rs1=1, imm=0),       # load
+        Instruction(Op.SW, rs1=2, rs2=4, imm=0),      # store (load-use!)
+        Instruction(Op.ADDI, rd=1, rs1=1, imm=1),
+        Instruction(Op.ADDI, rd=2, rs1=2, imm=1),
+        Instruction(Op.SUBI, rd=3, rs1=3, imm=1),
+        Instruction(Op.J, imm=-7),
+        HALT,
+    ]
+
+
+def hazard_stress() -> List[Instruction]:
+    """Back-to-back RAW hazards at every forwarding distance, load-use
+    interlocks through both source operands, and store-data hazards --
+    the Section 7 corner-case menu in one straight-line program."""
+    return [
+        Instruction(Op.ADDI, rd=1, rs1=0, imm=5),
+        Instruction(Op.ADD, rd=2, rs1=1, rs2=1),     # dist-1 (EX/MEM fwd)
+        Instruction(Op.ADD, rd=3, rs1=1, rs2=2),     # dist-1 + dist-2
+        Instruction(Op.ADD, rd=4, rs1=2, rs2=3),     # dist-2 + dist-1
+        Instruction(Op.SW, rs1=0, rs2=4, imm=64),    # store the sum
+        Instruction(Op.LW, rd=5, rs1=0, imm=64),     # reload it
+        Instruction(Op.ADD, rd=6, rs1=5, rs2=5),     # load-use via rs1+rs2
+        Instruction(Op.LW, rd=7, rs1=0, imm=64),
+        Instruction(Op.SW, rs1=0, rs2=7, imm=65),    # load-use store data
+        Instruction(Op.ADDI, rd=8, rs1=6, imm=0),
+        Instruction(Op.ADDI, rd=8, rs1=8, imm=1),    # back-to-back same dest
+        Instruction(Op.ADDI, rd=8, rs1=8, imm=1),
+        Instruction(Op.SUB, rd=9, rs1=8, rs2=1),     # priority: newest wins
+        HALT,
+    ]
+
+
+def branch_storm() -> List[Instruction]:
+    """Taken and untaken branches in quick succession, including a
+    branch whose condition register is bypassed, jump-and-link and an
+    indirect return -- the squash logic's workout."""
+    return [
+        Instruction(Op.ADDI, rd=1, rs1=0, imm=1),
+        Instruction(Op.BEQZ, rs1=1, imm=2),          # not taken
+        Instruction(Op.ADDI, rd=2, rs1=0, imm=10),
+        Instruction(Op.BNEZ, rs1=1, imm=1),          # taken (cond bypassed)
+        Instruction(Op.ADDI, rd=2, rs1=2, imm=90),   # squashed
+        Instruction(Op.SUBI, rd=3, rs1=1, imm=1),    # r3 = 0
+        Instruction(Op.BEQZ, rs1=3, imm=1),          # taken on fresh zero
+        Instruction(Op.ADDI, rd=2, rs1=2, imm=900),  # squashed
+        Instruction(Op.JAL, imm=2),                  # call subroutine
+        Instruction(Op.ADDI, rd=4, rs1=2, imm=3),    # return lands here
+        HALT,
+        Instruction(Op.ADDI, rd=5, rs1=0, imm=7),    # subroutine body
+        Instruction(Op.JR, rs1=31),                  # indirect return
+    ]
+
+
+def psw_probe() -> List[Instruction]:
+    """Drives the PSW flags through zero/negative/positive results --
+    the observable interaction state of Requirement 5."""
+    return [
+        Instruction(Op.ADDI, rd=1, rs1=0, imm=1),
+        Instruction(Op.SUBI, rd=2, rs1=1, imm=1),    # result 0: zero flag
+        Instruction(Op.SUBI, rd=3, rs1=2, imm=5),    # negative flag
+        Instruction(Op.ADDI, rd=4, rs1=3, imm=100),  # positive again
+        Instruction(Op.SEQ, rd=5, rs1=1, rs2=4),     # compare writes 0
+        HALT,
+    ]
+
+
+DIRECTED_PROGRAMS: Dict[str, List[Instruction]] = {
+    "fibonacci": fibonacci(),
+    "memcpy": memcpy_program(),
+    "hazard_stress": hazard_stress(),
+    "branch_storm": branch_storm(),
+    "psw_probe": psw_probe(),
+}
+
+
+_RANDOM_ALU_R = (Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SLT, Op.SEQ, Op.SGT)
+_RANDOM_ALU_I = (Op.ADDI, Op.SUBI, Op.ANDI, Op.ORI, Op.XORI, Op.SLTI)
+
+
+def random_program(
+    rng: random.Random,
+    length: int = 40,
+    registers: int = 8,
+    memory_words: int = 16,
+) -> List[Instruction]:
+    """A random terminating DLX program of ~``length`` instructions.
+
+    Construction guarantees termination: all control transfers jump
+    strictly *forward* within the program, and the program ends with
+    HALT.  Loads/stores address a small window so runs collide on the
+    same words (read-after-write through memory gets exercised).
+    Register numbers are drawn from ``1..registers-1`` plus R0.
+    """
+    if length < 2:
+        raise ValueError("length must be at least 2")
+    body: List[Instruction] = []
+    for position in range(length - 1):
+        remaining = length - 1 - position - 1  # slots after this one
+        kind = rng.random()
+        reg = lambda: rng.randrange(0, registers)  # noqa: E731
+        dst = lambda: rng.randrange(1, registers)  # noqa: E731
+        if kind < 0.35:
+            op = rng.choice(_RANDOM_ALU_R)
+            body.append(Instruction(op, rd=dst(), rs1=reg(), rs2=reg()))
+        elif kind < 0.60:
+            op = rng.choice(_RANDOM_ALU_I)
+            body.append(
+                Instruction(op, rd=dst(), rs1=reg(), imm=rng.randrange(-8, 9))
+            )
+        elif kind < 0.72:
+            body.append(
+                Instruction(
+                    Op.LW, rd=dst(), rs1=reg(),
+                    imm=rng.randrange(memory_words),
+                )
+            )
+        elif kind < 0.82:
+            body.append(
+                Instruction(
+                    Op.SW, rs1=reg(), rs2=reg(),
+                    imm=rng.randrange(memory_words),
+                )
+            )
+        elif kind < 0.94 and remaining >= 1:
+            op = rng.choice((Op.BEQZ, Op.BNEZ))
+            body.append(
+                Instruction(
+                    op, rs1=reg(), imm=rng.randrange(1, min(remaining, 6) + 1)
+                )
+            )
+        elif remaining >= 1:
+            body.append(
+                Instruction(
+                    Op.J, imm=rng.randrange(1, min(remaining, 4) + 1)
+                )
+            )
+        else:
+            body.append(NOP)
+    body.append(HALT)
+    return body
+
+
+def random_data(
+    rng: random.Random, memory_words: int = 16
+) -> Dict[int, int]:
+    """Random initial data memory matching :func:`random_program`'s
+    address window."""
+    return {
+        addr: rng.randrange(0, 1 << 16) for addr in range(memory_words)
+    }

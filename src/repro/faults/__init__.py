@@ -1,0 +1,49 @@
+"""Fault injection, fault simulation and error-coverage campaigns."""
+
+from .diagnose import Diagnosis, diagnose, diagnose_escapes
+from .campaign import (
+    CampaignResult,
+    ComparisonRow,
+    certified_tour_campaign,
+    compare_test_sets,
+    format_comparison,
+    run_campaign,
+)
+from .inject import (
+    all_output_faults,
+    all_single_faults,
+    all_transfer_faults,
+    inject,
+    inject_many,
+    sample_faults,
+)
+from .simulate import (
+    Detection,
+    compare_runs,
+    detect_fault,
+    detection_latency,
+    pad_inputs,
+)
+
+__all__ = [
+    "CampaignResult",
+    "ComparisonRow",
+    "Detection",
+    "Diagnosis",
+    "diagnose",
+    "diagnose_escapes",
+    "all_output_faults",
+    "all_single_faults",
+    "all_transfer_faults",
+    "certified_tour_campaign",
+    "compare_runs",
+    "compare_test_sets",
+    "detect_fault",
+    "detection_latency",
+    "format_comparison",
+    "inject",
+    "inject_many",
+    "pad_inputs",
+    "run_campaign",
+    "sample_faults",
+]

@@ -1,0 +1,183 @@
+"""Fault-injection campaigns: error coverage of test sets.
+
+The missing link the paper calls out in Section 1 is relating
+state/transition coverage "to the coverage of design errors".  A
+campaign makes that relation measurable: take a machine, enumerate its
+single-fault population, run one test set against every mutant, and
+report the *error coverage* -- the detected fraction -- broken down by
+fault class.
+
+The theorem experiments (THM1 in DESIGN.md) are campaigns with a
+twist: on machines whose completeness certificate holds, the claim is
+error coverage == 100% for any padded transition tour; on uncertified
+machines the escapes are expected and diagnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.errors import OutputError, TransferError
+from ..core.mealy import Input, MealyMachine
+from ..core.theorems import CompletenessCertificate
+from .inject import Fault, all_single_faults
+from .simulate import Detection, detect_fault, pad_inputs
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Aggregate outcome of a fault-injection campaign.
+
+    Attributes
+    ----------
+    machine_name:
+        The specification machine.
+    test_length:
+        Length of the test set used (after any padding).
+    detected / escaped:
+        The faults by outcome, in injection order.
+    """
+
+    machine_name: str
+    test_length: int
+    detected: Tuple[Fault, ...]
+    escaped: Tuple[Fault, ...]
+
+    @property
+    def total(self) -> int:
+        return len(self.detected) + len(self.escaped)
+
+    @property
+    def coverage(self) -> float:
+        """Error coverage: detected / total (1.0 for empty campaigns)."""
+        if self.total == 0:
+            return 1.0
+        return len(self.detected) / self.total
+
+    def by_class(self) -> dict:
+        """Coverage split into output-error and transfer-error classes."""
+        stats = {}
+        for cls, label in ((OutputError, "output"), (TransferError, "transfer")):
+            det = sum(1 for f in self.detected if isinstance(f, cls))
+            esc = sum(1 for f in self.escaped if isinstance(f, cls))
+            stats[label] = {
+                "detected": det,
+                "escaped": esc,
+                "coverage": det / (det + esc) if det + esc else 1.0,
+            }
+        return stats
+
+    def __str__(self) -> str:
+        by_cls = self.by_class()
+        parts = [
+            f"{self.machine_name}: error coverage "
+            f"{len(self.detected)}/{self.total} ({self.coverage:.1%}) "
+            f"with {self.test_length}-step test set"
+        ]
+        for label, s in by_cls.items():
+            parts.append(
+                f"  {label}: {s['detected']}/{s['detected'] + s['escaped']} "
+                f"({s['coverage']:.1%})"
+            )
+        return "\n".join(parts)
+
+
+def run_campaign(
+    spec: MealyMachine,
+    inputs: Sequence[Input],
+    faults: Optional[Sequence[Fault]] = None,
+) -> CampaignResult:
+    """Test every fault in ``faults`` (default: the full single-fault
+    population) against the test set ``inputs``."""
+    population = (
+        all_single_faults(spec) if faults is None else list(faults)
+    )
+    detected: List[Fault] = []
+    escaped: List[Fault] = []
+    for fault in population:
+        if detect_fault(spec, fault, inputs):
+            detected.append(fault)
+        else:
+            escaped.append(fault)
+    return CampaignResult(
+        machine_name=spec.name,
+        test_length=len(inputs),
+        detected=tuple(detected),
+        escaped=tuple(escaped),
+    )
+
+
+def certified_tour_campaign(
+    spec: MealyMachine,
+    tour_inputs: Sequence[Input],
+    certificate: CompletenessCertificate,
+    faults: Optional[Sequence[Fault]] = None,
+) -> CampaignResult:
+    """Campaign with the Theorem 1 simulation discipline applied.
+
+    Pads the tour by the certificate's horizon ``k`` (so transfer
+    errors excited near the end still get their ``k`` exposing steps)
+    and then runs the campaign.  When ``certificate.complete`` holds,
+    Theorem 1 predicts coverage 1.0; the caller (and the test suite)
+    asserts exactly that.
+    """
+    k = certificate.k or 0
+    padded = pad_inputs(spec, tour_inputs, k)
+    return run_campaign(spec, padded, faults=faults)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One row of a test-set comparison table (COMP benchmark)."""
+
+    method: str
+    test_length: int
+    coverage: float
+    output_coverage: float
+    transfer_coverage: float
+
+
+def compare_test_sets(
+    spec: MealyMachine,
+    test_sets: Sequence[Tuple[str, Sequence[Input]]],
+    faults: Optional[Sequence[Fault]] = None,
+) -> List[ComparisonRow]:
+    """Run the same campaign under several test sets; one row each.
+
+    This regenerates the baseline comparison of DESIGN.md's COMP
+    experiment: transition tour vs state tour vs random vectors on an
+    identical fault population.
+    """
+    population = (
+        all_single_faults(spec) if faults is None else list(faults)
+    )
+    rows: List[ComparisonRow] = []
+    for method, inputs in test_sets:
+        result = run_campaign(spec, inputs, faults=population)
+        by_cls = result.by_class()
+        rows.append(
+            ComparisonRow(
+                method=method,
+                test_length=len(inputs),
+                coverage=result.coverage,
+                output_coverage=by_cls["output"]["coverage"],
+                transfer_coverage=by_cls["transfer"]["coverage"],
+            )
+        )
+    return rows
+
+
+def format_comparison(rows: Sequence[ComparisonRow]) -> str:
+    """Render comparison rows as an aligned text table."""
+    header = (
+        f"{'method':<12} {'len':>8} {'coverage':>9} "
+        f"{'output':>8} {'transfer':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.method:<12} {r.test_length:>8} {r.coverage:>9.1%} "
+            f"{r.output_coverage:>8.1%} {r.transfer_coverage:>9.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""Fault diagnosis: explain why a fault escaped or how it was caught.
+
+A campaign result that says "escaped" is a number; a *diagnosis* is
+actionable.  For a fault and a test sequence this module reconstructs
+the mechanics the paper's Section 4.2 describes in prose:
+
+* where the test *excites* the fault (traverses the corrupted
+  transition in the faulty machine);
+* where (if ever) the runs' states diverge and re-converge -- the
+  masking windows of Definition 4;
+* for escapes: the shortest input suffix that WOULD have exposed the
+  fault from the excitation point -- i.e. the ``<a, b>`` the tour
+  should have taken instead of ``<a, c>`` in Figure 2;
+* for detections: the exposure latency and the distinguishing suffix
+  actually taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.errors import state_sequence
+from ..core.mealy import Input, MealyMachine
+from .inject import Fault, inject
+
+
+@dataclass(frozen=True)
+class Excitation:
+    """One traversal of the faulty transition during the test."""
+
+    step: int                 # 1-based input index that excited it
+    spec_state: object        # specification state at that moment
+    impl_state: object        # implementation state at that moment
+    exposed_at: Optional[int]  # 1-based step of first output diff after
+    reconverged_at: Optional[int]  # step where states re-merged (masked)
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """Full account of one fault under one test sequence."""
+
+    fault: Fault
+    detected: bool
+    excitations: Tuple[Excitation, ...]
+    exposing_suffix: Optional[Tuple[Input, ...]]
+    """For escapes: a shortest input sequence that would have exposed
+    the fault from the last excitation's state pair (None when the
+    fault is genuinely undetectable -- the states are equivalent)."""
+
+    def explain(self) -> str:
+        lines = [
+            f"fault {self.fault}: "
+            + ("DETECTED" if self.detected else "ESCAPED")
+        ]
+        if not self.excitations:
+            lines.append(
+                "  never excited: the test set does not traverse the "
+                "faulty transition"
+            )
+            return "\n".join(lines)
+        for exc in self.excitations:
+            if exc.exposed_at is not None:
+                lines.append(
+                    f"  excited at step {exc.step}, exposed at step "
+                    f"{exc.exposed_at} (latency "
+                    f"{exc.exposed_at - exc.step})"
+                )
+            elif exc.reconverged_at is not None:
+                lines.append(
+                    f"  excited at step {exc.step}, masked: runs "
+                    f"re-converged at step {exc.reconverged_at} "
+                    f"without an output difference"
+                )
+            else:
+                lines.append(
+                    f"  excited at step {exc.step}, never exposed "
+                    f"(divergent but output-silent to the end)"
+                )
+        if not self.detected:
+            if self.exposing_suffix is not None:
+                suffix = " ".join(map(str, self.exposing_suffix))
+                lines.append(
+                    f"  an exposing continuation existed: <{suffix}> "
+                    f"(the tour chose a non-exposing path -- the "
+                    f"Figure 2 situation)"
+                )
+            else:
+                lines.append(
+                    "  no continuation can expose it from there: the "
+                    "diverged states are output-equivalent"
+                )
+        return "\n".join(lines)
+
+
+def diagnose(
+    spec: MealyMachine,
+    fault: Fault,
+    inputs: Sequence[Input],
+) -> Diagnosis:
+    """Reconstruct how ``inputs`` interacts with ``fault``."""
+    mutant = inject(spec, fault)
+    site = fault.site()
+    spec_states = state_sequence(spec, inputs)
+    impl_states = state_sequence(mutant, inputs)
+    spec_outs = spec.output_sequence(inputs)
+    impl_outs = mutant.output_sequence(inputs)
+
+    first_diff: Optional[int] = None
+    for idx, (a, b) in enumerate(zip(spec_outs, impl_outs), start=1):
+        if a != b:
+            first_diff = idx
+            break
+
+    excitations: List[Excitation] = []
+    for idx, inp in enumerate(inputs, start=1):
+        if (impl_states[idx - 1], inp) != site:
+            continue
+        exposed = (
+            first_diff if first_diff is not None and first_diff >= idx
+            else None
+        )
+        reconverged = None
+        for later in range(idx, len(spec_states)):
+            if spec_states[later] == impl_states[later]:
+                reconverged = later
+                break
+        excitations.append(
+            Excitation(
+                step=idx,
+                spec_state=spec_states[idx - 1],
+                impl_state=impl_states[idx - 1],
+                exposed_at=exposed,
+                reconverged_at=reconverged if exposed is None else None,
+            )
+        )
+
+    detected = first_diff is not None
+    exposing: Optional[Tuple[Input, ...]] = None
+    if not detected and excitations:
+        last = excitations[-1]
+        # State pair right AFTER the excitation step.
+        pair = (spec_states[last.step], impl_states[last.step])
+        exposing = _shortest_distinguishing(spec, mutant, pair)
+    return Diagnosis(
+        fault=fault,
+        detected=detected,
+        excitations=tuple(excitations),
+        exposing_suffix=exposing,
+    )
+
+
+def _shortest_distinguishing(
+    spec: MealyMachine,
+    mutant: MealyMachine,
+    pair,
+) -> Optional[Tuple[Input, ...]]:
+    """BFS for the shortest input sequence producing different outputs
+    from a (spec state, mutant state) pair."""
+    from collections import deque
+
+    work = deque([(pair, ())])
+    seen = {pair}
+    while work:
+        (s_spec, s_impl), prefix = work.popleft()
+        common = spec.defined_inputs(s_spec) & mutant.defined_inputs(s_impl)
+        for inp in sorted(common, key=repr):
+            d_spec, o_spec = spec.step(s_spec, inp)
+            d_impl, o_impl = mutant.step(s_impl, inp)
+            if o_spec != o_impl:
+                return prefix + (inp,)
+            nxt = (d_spec, d_impl)
+            if nxt not in seen:
+                seen.add(nxt)
+                work.append((nxt, prefix + (inp,)))
+    return None
+
+
+def diagnose_escapes(
+    spec: MealyMachine,
+    faults: Sequence[Fault],
+    inputs: Sequence[Input],
+) -> List[Diagnosis]:
+    """Diagnoses for every fault in ``faults`` that ``inputs`` misses."""
+    out = []
+    for fault in faults:
+        d = diagnose(spec, fault, inputs)
+        if not d.detected:
+            out.append(d)
+    return out

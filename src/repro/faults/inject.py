@@ -1,0 +1,106 @@
+"""Single-fault enumeration and injection on Mealy machines.
+
+The paper's error model says *any* implementation error manifests as
+output or transfer errors on transitions (Section 4.1).  The
+experimental counterpart is exhaustive single-fault injection: every
+possible output corruption and every possible transfer diversion of
+every transition, each yielding one mutant implementation.  A test set
+is *complete* for a machine exactly when it detects every one of these
+mutants -- which is what Theorems 1-3 promise for transition tours on
+certified test models, and what :mod:`repro.faults.campaign` measures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from ..core.errors import OutputError, TransferError
+from ..core.mealy import MealyMachine, Output, State
+
+Fault = Union[OutputError, TransferError]
+
+
+def all_output_faults(
+    machine: MealyMachine,
+    wrong_outputs: Optional[Iterable[Output]] = None,
+) -> Iterator[OutputError]:
+    """Every single output fault of ``machine``.
+
+    For each transition, one fault per alternative output value drawn
+    from ``wrong_outputs`` (default: the machine's own output
+    alphabet), excluding the correct value.
+    """
+    candidates = (
+        sorted(machine.outputs, key=repr)
+        if wrong_outputs is None
+        else sorted(set(wrong_outputs), key=repr)
+    )
+    for t in machine.transitions:
+        for wrong in candidates:
+            if wrong != t.out:
+                yield OutputError(t.src, t.inp, wrong)
+
+
+def all_transfer_faults(
+    machine: MealyMachine,
+    wrong_dsts: Optional[Iterable[State]] = None,
+) -> Iterator[TransferError]:
+    """Every single transfer fault of ``machine``.
+
+    For each transition, one fault per alternative destination state
+    (default: every other state of the machine).  These are the faults
+    whose detection hinges on Definition 5.
+    """
+    candidates = (
+        sorted(machine.states, key=repr)
+        if wrong_dsts is None
+        else sorted(set(wrong_dsts), key=repr)
+    )
+    for t in machine.transitions:
+        for wrong in candidates:
+            if wrong != t.dst:
+                yield TransferError(t.src, t.inp, wrong)
+
+
+def all_single_faults(machine: MealyMachine) -> List[Fault]:
+    """The complete single-fault population, deterministically ordered."""
+    faults: List[Fault] = list(all_output_faults(machine))
+    faults.extend(all_transfer_faults(machine))
+    return faults
+
+
+def sample_faults(
+    machine: MealyMachine,
+    count: int,
+    rng: random.Random,
+) -> List[Fault]:
+    """A uniform sample (without replacement) of single faults.
+
+    For machines whose full population is too large for an exhaustive
+    campaign; sampling is deterministic given ``rng``'s seed.
+    """
+    population = all_single_faults(machine)
+    if count >= len(population):
+        return population
+    return rng.sample(population, count)
+
+
+def inject(machine: MealyMachine, fault: Fault) -> MealyMachine:
+    """Apply one fault, returning the mutant implementation."""
+    return fault.apply(machine)
+
+
+def inject_many(
+    machine: MealyMachine, faults: Sequence[Fault]
+) -> MealyMachine:
+    """Apply several faults in order (multi-fault mutant).
+
+    Used by the masking experiments: a pair of transfer faults where
+    the second re-converges the state sequence realizes Definition 4's
+    masking pattern, violating Requirement 4.
+    """
+    mutant = machine
+    for f in faults:
+        mutant = f.apply(mutant)
+    return mutant

@@ -1,0 +1,198 @@
+"""A library of canonical Mealy machines.
+
+These models serve three audiences: the test suite (known-answer
+machines), the examples (realistic-but-small workloads), and the
+benchmarks (in particular :func:`figure2_fragment`, which reconstructs
+the exact counterexample of the paper's Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .core.errors import TransferError
+from .core.mealy import MealyMachine
+
+
+def figure2_fragment() -> Tuple[MealyMachine, TransferError]:
+    """The paper's Figure 2: the limitation of transition tours.
+
+    Returns the *test model* (playing the role of the specification)
+    and the transfer error of the figure: the transition from state 2
+    on input ``a`` incorrectly lands in state 3' instead of 3.
+
+    The construction follows the figure exactly at the interesting
+    states and closes the fragment into a complete, strongly connected
+    machine so that tours exist:
+
+    * from 3, input ``b`` goes to 4 with output ``o1``;
+      from 3', input ``b`` goes to 4' with output ``o2`` (different --
+      "known to result in different outputs during simulation");
+    * from 3 and from 3', input ``c`` goes to 5 with the *same* output
+      ``o3`` -- and, crucially, to the *same* state, so once the tour
+      chooses ``<a, c>`` the faulty run re-converges with the correct
+      one and the transfer error is never exposed.
+
+    State 3 is also reachable without exercising the faulty transition
+    (via ``b`` from state 1), so a tour may legally cover the
+    ``3 --b--> 4`` transition on that path and cover ``2 --a--> 3``
+    followed by ``c`` -- the escaping tour of Section 4.2.
+    """
+    m = MealyMachine("s1", name="figure2")
+    m.add_transition("s1", "a", "o0", "s2")
+    m.add_transition("s1", "b", "o0", "s3")
+    m.add_transition("s1", "c", "o0", "s3p")
+    m.add_transition("s2", "a", "oa", "s3")
+    m.add_transition("s2", "b", "o0", "s1")
+    m.add_transition("s2", "c", "o0", "s1")
+    m.add_transition("s3", "a", "o0", "s1")
+    m.add_transition("s3", "b", "o1", "s4")
+    m.add_transition("s3", "c", "o3", "s5")
+    m.add_transition("s3p", "a", "o0", "s1")
+    m.add_transition("s3p", "b", "o2", "s4p")
+    m.add_transition("s3p", "c", "o3", "s5")
+    closing_outputs = {"s4": "o4", "s4p": "o5", "s5": "o6"}
+    for s, out in closing_outputs.items():
+        for inp in ("a", "b", "c"):
+            m.add_transition(s, inp, out, "s1")
+    fault = TransferError("s2", "a", "s3p")
+    return m, fault
+
+
+def counter(bits: int = 3) -> MealyMachine:
+    """An n-bit up/down counter with carry/borrow outputs.
+
+    Inputs ``up``/``down``; output is ``(value, carry)`` after the
+    step.  Fully observable state, hence forall-1-distinguishable: the
+    friendly end of the spectrum for the theorem experiments.
+    """
+    size = 1 << bits
+    m = MealyMachine(0, name=f"counter{bits}")
+    for v in range(size):
+        up = (v + 1) % size
+        down = (v - 1) % size
+        m.add_transition(v, "up", (up, 1 if up == 0 else 0), up)
+        m.add_transition(v, "down", (down, 1 if down == size - 1 else 0), down)
+    return m
+
+
+def traffic_light() -> MealyMachine:
+    """A road-junction light controller with a pedestrian request.
+
+    Inputs: ``tick`` (timer expiry) and ``ped`` (pedestrian button).
+    Outputs are the lamp configuration.  A classic small control FSM
+    with an input whose effect depends on mode -- useful to exercise
+    tours over genuinely asymmetric graphs.
+    """
+    m = MealyMachine("green", name="traffic")
+    m.add_transition("green", "tick", "lamps=yellow", "yellow")
+    m.add_transition("green", "ped", "lamps=yellow", "yellow")
+    m.add_transition("yellow", "tick", "lamps=red", "red")
+    m.add_transition("yellow", "ped", "lamps=red", "red_walk")
+    m.add_transition("red", "tick", "lamps=green", "green")
+    m.add_transition("red", "ped", "lamps=red+walk", "red_walk")
+    m.add_transition("red_walk", "tick", "lamps=red", "red")
+    m.add_transition("red_walk", "ped", "lamps=red+walk", "red_walk")
+    return m
+
+
+def alternating_bit_sender() -> MealyMachine:
+    """The sender side of the alternating-bit protocol.
+
+    Inputs: ``send`` (new message from the application), ``ack0`` /
+    ``ack1`` (acknowledgement with sequence bit), ``timeout``.
+    Outputs: frames put on the wire or ``idle``/``deliver`` actions.
+    The conformance-testing community is where transition tours come
+    from (Section 3), and this machine is the protocol-workload used
+    by the conformance example.
+    """
+    m = MealyMachine("wait_msg0", name="abp-sender")
+    # Waiting for a message, next frame will carry bit 0.
+    m.add_transition("wait_msg0", "send", "frame0", "wait_ack0")
+    m.add_transition("wait_msg0", "ack0", "idle", "wait_msg0")
+    m.add_transition("wait_msg0", "ack1", "idle", "wait_msg0")
+    m.add_transition("wait_msg0", "timeout", "idle", "wait_msg0")
+    # Awaiting ack for frame 0.
+    m.add_transition("wait_ack0", "ack0", "done0", "wait_msg1")
+    m.add_transition("wait_ack0", "ack1", "frame0", "wait_ack0")
+    m.add_transition("wait_ack0", "timeout", "frame0", "wait_ack0")
+    m.add_transition("wait_ack0", "send", "busy", "wait_ack0")
+    # Waiting for a message, next frame will carry bit 1.
+    m.add_transition("wait_msg1", "send", "frame1", "wait_ack1")
+    m.add_transition("wait_msg1", "ack0", "idle", "wait_msg1")
+    m.add_transition("wait_msg1", "ack1", "idle", "wait_msg1")
+    m.add_transition("wait_msg1", "timeout", "idle", "wait_msg1")
+    # Awaiting ack for frame 1.
+    m.add_transition("wait_ack1", "ack1", "done1", "wait_msg0")
+    m.add_transition("wait_ack1", "ack0", "frame1", "wait_ack1")
+    m.add_transition("wait_ack1", "timeout", "frame1", "wait_ack1")
+    m.add_transition("wait_ack1", "send", "busy", "wait_ack1")
+    return m
+
+
+def serial_adder() -> MealyMachine:
+    """Bit-serial adder: state is the carry, input is a bit pair.
+
+    The smallest machine with a genuine transfer-error subtlety: both
+    states loop on ``(0, 1)``/``(1, 0)`` with outputs that differ, so
+    it is forall-1-distinguishable on half the alphabet but needs the
+    full forall analysis for the rest.
+    """
+    m = MealyMachine(0, name="serial-adder")
+    for carry in (0, 1):
+        for a in (0, 1):
+            for b in (0, 1):
+                total = a + b + carry
+                m.add_transition(carry, (a, b), total & 1, total >> 1)
+    return m
+
+
+def shift_register(width: int = 3) -> MealyMachine:
+    """A serial-in serial-out shift register of the given width.
+
+    State is the register contents (a bit tuple); input is the bit
+    shifted in; output is the bit falling out.  Notable because the
+    output lags the input by ``width`` cycles: distinguishing two
+    states can take up to ``width`` steps, and *every* length-``width``
+    sequence distinguishes distinct states -- a natural
+    forall-k-distinguishable family with k = width, mirroring the
+    pipeline-latency intuition behind Requirement 2.
+    """
+    m = MealyMachine((0,) * width, name=f"shiftreg{width}")
+    for v in range(1 << width):
+        bits = tuple((v >> i) & 1 for i in reversed(range(width)))
+        for inbit in (0, 1):
+            nxt = bits[1:] + (inbit,)
+            m.add_transition(bits, inbit, bits[0], nxt)
+    return m
+
+
+def vending_machine() -> MealyMachine:
+    """A coin-operated dispenser: accepts 5/10 units, vends at 15.
+
+    Inputs ``n`` (nickel=5), ``d`` (dime=10), ``r`` (refund).
+    Output reports the running credit or the vend/refund action.
+    Used by the quickstart example.
+    """
+    m = MealyMachine(0, name="vending")
+    for credit in (0, 5, 10):
+        after_n = credit + 5
+        after_d = credit + 10
+        m.add_transition(
+            credit, "n",
+            "vend" if after_n >= 15 else f"credit={after_n}",
+            0 if after_n >= 15 else after_n,
+        )
+        m.add_transition(
+            credit, "d",
+            "vend+change" if after_d > 15 else (
+                "vend" if after_d == 15 else f"credit={after_d}"
+            ),
+            0 if after_d >= 15 else after_d,
+        )
+        m.add_transition(
+            credit, "r",
+            f"refund={credit}" if credit else "idle",
+            0,
+        )
+    return m

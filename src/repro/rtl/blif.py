@@ -1,0 +1,93 @@
+"""BLIF export for netlists (SIS interchange).
+
+The paper's implicit traversal ran inside SIS, whose circuit input
+format is BLIF.  :func:`to_blif` renders a netlist as a BLIF model —
+``.inputs/.outputs``, one ``.latch`` per register (with reset value),
+and one ``.names`` cover per logic function — so a derived test model
+can be handed to SIS/ABC-era tooling directly.
+
+Logic covers are produced by enumerating each function's BDD
+(SAT enumeration over its support), which yields a correct if not
+minimal sum-of-products; the support-only scope keeps covers small
+for control logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .expr import Expr, support
+from .netlist import Netlist
+
+
+class BlifError(Exception):
+    """Raised when a netlist cannot be rendered."""
+
+
+def _sanitize(name: str) -> str:
+    """BLIF-safe signal name (no whitespace or '=')."""
+    return (
+        name.replace(" ", "_").replace("=", "_")
+        .replace("[", "_").replace("]", "")
+    )
+
+
+def _cover(expr: Expr, manager, net_name: str) -> List[str]:
+    """SOP cover lines for one function over its support."""
+    # Imported here: repro.bdd depends on repro.rtl.expr, so a
+    # top-level import would be circular through the package inits.
+    from ..bdd.boolexpr import compile_expr
+
+    deps = sorted(support(expr))
+    for dep in deps:
+        manager.add_var(dep)
+    f = compile_expr(expr, manager)
+    if not deps:
+        # Constant function.
+        value = manager.evaluate(f, {})
+        return [".names " + net_name, "1" if value else ""] if value else [
+            ".names " + net_name
+        ]
+    header = (
+        ".names " + " ".join(_sanitize(d) for d in deps) + " " + net_name
+    )
+    lines = [header]
+    for assignment in manager.sat_iter(f, over=deps):
+        row = "".join("1" if assignment[d] else "0" for d in deps)
+        lines.append(f"{row} 1")
+    return lines
+
+
+def to_blif(netlist: Netlist, model: Optional[str] = None) -> str:
+    """Render the netlist as a single BLIF model.
+
+    Register next-state functions drive intermediate nets named
+    ``<reg>_next`` feeding ``.latch`` lines with explicit reset
+    values; outputs are named nets with their own covers.
+    """
+    from ..bdd.manager import BDDManager
+
+    netlist.validate()
+    manager = BDDManager()
+    lines: List[str] = [f".model {_sanitize(model or netlist.name)}"]
+    if netlist.inputs:
+        lines.append(
+            ".inputs " + " ".join(_sanitize(n) for n in netlist.inputs)
+        )
+    if netlist.output_names:
+        lines.append(
+            ".outputs "
+            + " ".join(_sanitize(n) for n in netlist.output_names)
+        )
+    for reg in netlist.registers.values():
+        assert reg.next is not None
+        next_net = _sanitize(reg.name) + "_next"
+        lines.extend(_cover(reg.next, manager, next_net))
+        lines.append(
+            f".latch {next_net} {_sanitize(reg.name)} re clk "
+            f"{int(reg.init)}"
+        )
+    for out_name, expr in netlist.outputs.items():
+        lines.extend(_cover(expr, manager, _sanitize(out_name)))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

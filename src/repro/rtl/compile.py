@@ -1,0 +1,92 @@
+"""Compiled-code simulation of netlists.
+
+Interpreting expression trees costs a dict lookup and an isinstance
+dispatch per node per cycle; explicit FSM extraction of a test model
+evaluates millions of cycles, where that overhead dominates.  This
+module performs what production simulators call *compiled-code
+simulation*: the netlist's next-state and output expressions are
+translated once into a Python source string and ``exec``-ed into a
+single step function, giving an order-of-magnitude speedup with
+bit-identical results (the test suite cross-checks against the
+interpreter).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from .expr import And, Const, Expr, Mux, Not, Or, Var, Xor
+from .netlist import Netlist
+
+
+class CompileError(Exception):
+    """Raised on unknown expression nodes."""
+
+
+StepFunction = Callable[
+    [Mapping[str, bool], Mapping[str, bool]],
+    Tuple[Dict[str, bool], Dict[str, bool]],
+]
+
+
+def _emit(expr: Expr, names: Dict[str, str]) -> str:
+    """Translate an expression tree to a Python boolean expression."""
+    if isinstance(expr, Const):
+        return "True" if expr.value else "False"
+    if isinstance(expr, Var):
+        return names[expr.name]
+    if isinstance(expr, Not):
+        return f"(not {_emit(expr.arg, names)})"
+    if isinstance(expr, And):
+        return "(" + " and ".join(_emit(a, names) for a in expr.args) + ")"
+    if isinstance(expr, Or):
+        return "(" + " or ".join(_emit(a, names) for a in expr.args) + ")"
+    if isinstance(expr, Xor):
+        return (
+            f"({_emit(expr.left, names)} != {_emit(expr.right, names)})"
+        )
+    if isinstance(expr, Mux):
+        return (
+            f"({_emit(expr.if_true, names)} if {_emit(expr.sel, names)} "
+            f"else {_emit(expr.if_false, names)})"
+        )
+    raise CompileError(f"unknown expression node {type(expr).__name__}")
+
+
+def compile_step(netlist: Netlist) -> StepFunction:
+    """Compile a netlist into a fast ``step(state, inputs)`` function.
+
+    The generated function has the same contract as
+    :meth:`~repro.rtl.netlist.Netlist.step`: it returns
+    ``(next_state, outputs)`` dicts of Python bools, with Mealy output
+    semantics (outputs read the pre-edge state).
+    """
+    netlist.validate()
+    # Each bit gets a local-variable alias to avoid dict lookups in the
+    # hot expressions.
+    names: Dict[str, str] = {}
+    for idx, name in enumerate(netlist.inputs):
+        names[name] = f"_i{idx}"
+    for idx, name in enumerate(netlist.register_names):
+        names[name] = f"_s{idx}"
+
+    lines: List[str] = ["def _step(state, inputs):"]
+    for name in netlist.inputs:
+        lines.append(f"    {names[name]} = inputs[{name!r}]")
+    for name in netlist.register_names:
+        lines.append(f"    {names[name]} = state[{name!r}]")
+    out_items = ", ".join(
+        f"{name!r}: {_emit(expr, names)}"
+        for name, expr in netlist.outputs.items()
+    )
+    lines.append(f"    _outs = {{{out_items}}}")
+    next_items = ", ".join(
+        f"{reg.name!r}: {_emit(reg.next, names)}"
+        for reg in netlist.registers.values()
+    )
+    lines.append(f"    _next = {{{next_items}}}")
+    lines.append("    return _next, _outs")
+    source = "\n".join(lines)
+    namespace: Dict[str, object] = {}
+    exec(compile(source, f"<compiled {netlist.name}>", "exec"), namespace)
+    return namespace["_step"]  # type: ignore[return-value]

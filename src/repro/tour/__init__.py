@@ -1,0 +1,60 @@
+"""Transition-tour and test-set generation algorithms."""
+
+from .eulerian import (
+    EulerianError,
+    degree_balance,
+    eulerian_circuit,
+    is_balanced,
+    verify_circuit,
+)
+from .greedy import greedy_transition_transitions, random_walk_transitions
+from .mincostflow import FlowError, MinCostFlow
+from .postman import (
+    PostmanError,
+    chinese_postman_transitions,
+    edge_imbalances,
+    minimum_duplications,
+    optimal_tour_length,
+)
+from .rural import greedy_rural_transitions, rural_lower_bound
+from .tourgen import (
+    Tour,
+    checking_tour,
+    random_tour,
+    state_tour,
+    transition_tour,
+)
+from .uio import (
+    all_uio_sequences,
+    has_distinguishing_input,
+    is_uio_for,
+    uio_sequence,
+)
+
+__all__ = [
+    "EulerianError",
+    "FlowError",
+    "MinCostFlow",
+    "PostmanError",
+    "Tour",
+    "all_uio_sequences",
+    "checking_tour",
+    "chinese_postman_transitions",
+    "degree_balance",
+    "edge_imbalances",
+    "eulerian_circuit",
+    "greedy_rural_transitions",
+    "greedy_transition_transitions",
+    "has_distinguishing_input",
+    "is_balanced",
+    "is_uio_for",
+    "minimum_duplications",
+    "optimal_tour_length",
+    "random_tour",
+    "random_walk_transitions",
+    "rural_lower_bound",
+    "state_tour",
+    "transition_tour",
+    "uio_sequence",
+    "verify_circuit",
+]

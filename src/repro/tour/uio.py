@@ -1,0 +1,121 @@
+"""Unique Input/Output (UIO) sequences.
+
+Protocol conformance testing -- the field transition tours came from
+(Section 3) -- strengthens a tour by following each transition with a
+*UIO sequence* of its destination state: an input sequence whose
+output from that state differs from its output from every other
+state, confirming the machine really landed where it should.  The
+paper cites the related classical result that "a transition tour can
+catch all errors if there exists an input which produces a unique
+output in each state"; UIO sequences generalize that single input to a
+sequence.
+
+UIO existence is PSPACE-complete in general; the bounded breadth-first
+search here is exact up to ``max_len`` and entirely adequate for
+test-model-sized machines.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..core.mealy import Input, MealyMachine, State
+
+
+def is_uio_for(
+    machine: MealyMachine, state: State, seq: Tuple[Input, ...]
+) -> bool:
+    """True iff ``seq``'s output from ``state`` differs from its output
+    from every other state.
+
+    States where ``seq`` is not fully defined (input don't-cares) are
+    treated as distinguished by it: the run itself is impossible there.
+    """
+    try:
+        target = machine.output_sequence(seq, start=state)
+    except Exception:
+        return False
+    for other in machine.states:
+        if other == state:
+            continue
+        try:
+            if machine.output_sequence(seq, start=other) == target:
+                return False
+        except Exception:
+            continue
+    return True
+
+
+def uio_sequence(
+    machine: MealyMachine, state: State, max_len: int = 8
+) -> Optional[Tuple[Input, ...]]:
+    """The shortest UIO sequence for ``state`` up to ``max_len``.
+
+    Breadth-first over sequence length with candidate-set pruning: we
+    track which other states remain output-consistent with ``state``
+    under the prefix, and stop as soon as the set empties.  Returns
+    None when no UIO of length <= ``max_len`` exists (the state is
+    either equivalent to another, or needs a longer signature).
+    """
+    inputs = sorted(machine.inputs, key=repr)
+    # Frontier entries: (prefix, own current state, {other: its state}).
+    others0 = {s: s for s in machine.states if s != state}
+    frontier: List[Tuple[Tuple[Input, ...], State, Dict[State, State]]] = [
+        ((), state, others0)
+    ]
+    for _length in range(max_len):
+        nxt: List[Tuple[Tuple[Input, ...], State, Dict[State, State]]] = []
+        for prefix, cur, others in frontier:
+            for inp in inputs:
+                t = machine.transition(cur, inp)
+                if t is None:
+                    continue
+                surviving: Dict[State, State] = {}
+                for origin, pos in others.items():
+                    u = machine.transition(pos, inp)
+                    if u is not None and u.out == t.out:
+                        surviving[origin] = u.dst
+                seq = prefix + (inp,)
+                if not surviving:
+                    return seq
+                nxt.append((seq, t.dst, surviving))
+        # Prune: keep the minimal-surviving-set candidates first and cap
+        # the frontier so pathological machines stay tractable.
+        nxt.sort(key=lambda item: (len(item[2]), repr(item[0])))
+        frontier = nxt[:4096]
+        if not frontier:
+            return None
+    return None
+
+
+def all_uio_sequences(
+    machine: MealyMachine, max_len: int = 8
+) -> Dict[State, Optional[Tuple[Input, ...]]]:
+    """UIO sequences for every state (None where none short enough)."""
+    return {
+        s: uio_sequence(machine, s, max_len=max_len)
+        for s in sorted(machine.states, key=repr)
+    }
+
+
+def has_distinguishing_input(machine: MealyMachine) -> Optional[Input]:
+    """The classical sufficient condition quoted in Section 3.
+
+    Returns an input that (a) produces a distinct output in every
+    state and (b) leaves every state unchanged (a self-loop
+    everywhere) -- the condition under which a bare transition tour is
+    already a checking experiment.  None if no such input exists.
+    """
+    for inp in sorted(machine.inputs, key=repr):
+        outputs = set()
+        ok = True
+        for s in machine.states:
+            t = machine.transition(s, inp)
+            if t is None or t.dst != s or t.out in outputs:
+                ok = False
+                break
+            outputs.add(t.out)
+        if ok:
+            return inp
+    return None

@@ -1,0 +1,34 @@
+"""Checkpointed co-simulation validation of the DLX implementation."""
+
+from .checkpoints import compare_checkpoint, compare_streams
+from .harness import (
+    campaign_from_concrete_test,
+    measure_latencies,
+    run_bug_campaign,
+    validate,
+    validate_concrete_test,
+)
+from .report import (
+    BugCampaignResult,
+    BugCampaignRow,
+    Mismatch,
+    ValidationResult,
+)
+from .testgen import ConcreteTest, ConversionError, fill_inputs
+
+__all__ = [
+    "BugCampaignResult",
+    "BugCampaignRow",
+    "ConcreteTest",
+    "ConversionError",
+    "Mismatch",
+    "ValidationResult",
+    "campaign_from_concrete_test",
+    "compare_checkpoint",
+    "compare_streams",
+    "fill_inputs",
+    "measure_latencies",
+    "run_bug_campaign",
+    "validate",
+    "validate_concrete_test",
+]

@@ -1,0 +1,153 @@
+"""The end-to-end validation driver (Figure 1).
+
+Ties the pieces together: run a test program on the behavioral
+specification and on a (possibly buggy) pipelined implementation,
+compare their checkpoint streams, and aggregate results over the bug
+catalog or over arbitrary test sets.  Also measures the empirical
+Requirement 2 bound (worst instruction latency) used by the
+Theorem 3 certificate for the DLX model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..dlx.behavioral import BehavioralDLX, ExecutionError
+from ..dlx.buggy import BUG_CATALOG, BugEntry
+from ..dlx.isa import Instruction
+from ..dlx.pipeline import PipelineBugs, PipelinedDLX
+from .checkpoints import compare_streams
+from .report import (
+    BugCampaignResult,
+    BugCampaignRow,
+    Mismatch,
+    ValidationResult,
+)
+from .testgen import ConcreteTest
+
+
+def validate(
+    program: Sequence[Instruction],
+    data: Optional[Dict[int, int]] = None,
+    bugs: Optional[PipelineBugs] = None,
+    branch_oracle: Optional[Sequence[bool]] = None,
+    max_cycles: Optional[int] = None,
+) -> ValidationResult:
+    """One checkpointed co-simulation of spec vs implementation.
+
+    A crash or livelock of the implementation (possible under injected
+    bugs -- e.g. a squash bug that sends the PC out of the program)
+    counts as a mismatch of field "crash".  ``max_cycles`` defaults to
+    a generous multiple of the program length.
+    """
+    if max_cycles is None:
+        max_cycles = max(500_000, 6 * len(program))
+    spec = BehavioralDLX(
+        program, dict(data) if data else None, branch_oracle=branch_oracle
+    )
+    impl = PipelinedDLX(
+        program,
+        dict(data) if data else None,
+        bugs=bugs,
+        branch_oracle=branch_oracle,
+    )
+    expected = spec.run(max_steps=max(200_000, 2 * len(program)))
+    try:
+        observed = impl.run(max_cycles=max_cycles)
+    except ExecutionError as exc:
+        return ValidationResult(
+            program_length=len(program),
+            retired=impl.retired,
+            cycles=impl.cycle_count,
+            mismatch=Mismatch(impl.retired, "crash", "halt", str(exc)),
+            max_latency=impl.max_latency(),
+        )
+    return ValidationResult(
+        program_length=len(program),
+        retired=impl.retired,
+        cycles=impl.cycle_count,
+        mismatch=compare_streams(expected, observed),
+        max_latency=impl.max_latency(),
+    )
+
+
+def validate_concrete_test(
+    test: ConcreteTest,
+    data: Optional[Dict[int, int]] = None,
+    bugs: Optional[PipelineBugs] = None,
+) -> ValidationResult:
+    """Co-simulate a converted abstract test (program + oracle).
+
+    ``data`` defaults to the test's own distinct-value memory image.
+    """
+    return validate(
+        list(test.program),
+        data=data if data is not None else test.data,
+        bugs=bugs,
+        branch_oracle=list(test.branch_oracle),
+    )
+
+
+def run_bug_campaign(
+    tests: Sequence[Tuple[Sequence[Instruction], Optional[Dict[int, int]],
+                          Optional[Sequence[bool]]]],
+    catalog: Sequence[BugEntry] = BUG_CATALOG,
+    test_name: str = "test-set",
+) -> BugCampaignResult:
+    """Run every catalog bug against a battery of test programs.
+
+    ``tests`` is a sequence of (program, data, branch_oracle) triples;
+    a bug counts as detected when *any* of them produces a mismatch.
+    This is the DLX-level analogue of the FSM fault campaigns: the
+    test set validates the implementation iff coverage is 100%.
+    """
+    rows: List[BugCampaignRow] = []
+    for entry in catalog:
+        found: Optional[Mismatch] = None
+        for program, data, oracle in tests:
+            result = validate(
+                program, data=data, bugs=entry.bugs, branch_oracle=oracle
+            )
+            if not result.passed:
+                found = result.mismatch
+                break
+        rows.append(
+            BugCampaignRow(
+                bug_name=entry.name,
+                mechanism=entry.mechanism,
+                detected=found is not None,
+                mismatch=found,
+            )
+        )
+    return BugCampaignResult(test_name=test_name, rows=tuple(rows))
+
+
+def campaign_from_concrete_test(
+    test: ConcreteTest,
+    catalog: Sequence[BugEntry] = BUG_CATALOG,
+    test_name: str = "tour-test",
+    data: Optional[Dict[int, int]] = None,
+) -> BugCampaignResult:
+    """Bug campaign driven by a single converted tour test."""
+    image = data if data is not None else test.data
+    return run_bug_campaign(
+        [(list(test.program), image, list(test.branch_oracle))],
+        catalog=catalog,
+        test_name=test_name,
+    )
+
+
+def measure_latencies(
+    program: Sequence[Instruction],
+    data: Optional[Dict[int, int]] = None,
+) -> List[Tuple[Instruction, int]]:
+    """Fetch-to-retire latency per instruction on the correct design.
+
+    Feeds :func:`repro.core.requirements.check_bounded_latency` --
+    Requirement 2's empirical ``k`` for the DLX pipeline (5 stages +
+    stall cycles).
+    """
+    impl = PipelinedDLX(program, dict(data) if data else None)
+    impl.run()
+    return list(impl.latencies)

@@ -1,0 +1,122 @@
+"""Structured results for the validation harness (Figure 1 bottom)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """The first divergence between spec and implementation runs.
+
+    Attributes
+    ----------
+    index:
+        Retirement index of the first differing checkpoint (or the
+        length of the shorter stream when one run retires fewer
+        instructions).
+    field:
+        Which checkpoint component differed ("regs", "psw",
+        "mem_write", "pc_after", "instruction", "length", "crash").
+    expected / observed:
+        The differing values (abbreviated for the register file).
+    """
+
+    index: int
+    field: str
+    expected: Hashable
+    observed: Hashable
+
+    def __str__(self) -> str:
+        return (
+            f"mismatch at retirement {self.index}: {self.field} "
+            f"expected {self.expected!r}, observed {self.observed!r}"
+        )
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of one checkpointed co-simulation.
+
+    ``passed`` means every checkpoint of the implementation matched
+    the specification's, in order, with equal stream length.
+    """
+
+    program_length: int
+    retired: int
+    cycles: int
+    mismatch: Optional[Mismatch]
+    max_latency: int
+
+    @property
+    def passed(self) -> bool:
+        return self.mismatch is None
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction of the implementation run."""
+        if not self.retired:
+            return float("nan")
+        return self.cycles / self.retired
+
+    def __str__(self) -> str:
+        if self.passed:
+            return (
+                f"PASS: {self.retired} instructions in {self.cycles} "
+                f"cycles (CPI {self.cpi:.2f}, max latency "
+                f"{self.max_latency})"
+            )
+        return f"FAIL: {self.mismatch}"
+
+
+@dataclass(frozen=True)
+class BugCampaignRow:
+    """One catalog bug's outcome under one test set."""
+
+    bug_name: str
+    mechanism: str
+    detected: bool
+    mismatch: Optional[Mismatch]
+
+
+@dataclass(frozen=True)
+class BugCampaignResult:
+    """Results of running a test set against the whole bug catalog."""
+
+    test_name: str
+    rows: Tuple[BugCampaignRow, ...]
+
+    @property
+    def detected(self) -> Tuple[BugCampaignRow, ...]:
+        return tuple(r for r in self.rows if r.detected)
+
+    @property
+    def escaped(self) -> Tuple[BugCampaignRow, ...]:
+        return tuple(r for r in self.rows if not r.detected)
+
+    @property
+    def coverage(self) -> float:
+        if not self.rows:
+            return 1.0
+        return len(self.detected) / len(self.rows)
+
+    def by_mechanism(self) -> dict:
+        """Detection counts per corrupted control mechanism."""
+        stats: dict = {}
+        for row in self.rows:
+            entry = stats.setdefault(
+                row.mechanism, {"detected": 0, "escaped": 0}
+            )
+            entry["detected" if row.detected else "escaped"] += 1
+        return stats
+
+    def __str__(self) -> str:
+        lines = [
+            f"{self.test_name}: {len(self.detected)}/{len(self.rows)} "
+            f"catalog bugs detected ({self.coverage:.0%})"
+        ]
+        for row in self.rows:
+            mark = "DETECTED" if row.detected else "ESCAPED "
+            lines.append(f"  [{mark}] {row.bug_name} ({row.mechanism})")
+        return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Shared fixtures: canonical machines used across the test suite."""
+
+import random
+
+import pytest
+
+from repro.models import (
+    alternating_bit_sender,
+    counter,
+    figure2_fragment,
+    serial_adder,
+    shift_register,
+    traffic_light,
+    vending_machine,
+)
+
+
+@pytest.fixture
+def fig2():
+    """The paper's Figure 2 fragment and its transfer error."""
+    return figure2_fragment()
+
+
+@pytest.fixture
+def fig2_machine():
+    machine, _fault = figure2_fragment()
+    return machine
+
+
+@pytest.fixture
+def adder():
+    return serial_adder()
+
+
+@pytest.fixture
+def abp():
+    return alternating_bit_sender()
+
+
+@pytest.fixture
+def lights():
+    return traffic_light()
+
+
+@pytest.fixture
+def vending():
+    return vending_machine()
+
+
+@pytest.fixture
+def counter3():
+    return counter(3)
+
+
+@pytest.fixture
+def shiftreg3():
+    return shift_register(3)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+ALL_MODEL_BUILDERS = [
+    lambda: figure2_fragment()[0],
+    serial_adder,
+    alternating_bit_sender,
+    traffic_light,
+    vending_machine,
+    lambda: counter(2),
+    lambda: shift_register(2),
+]
+
+
+@pytest.fixture(params=range(len(ALL_MODEL_BUILDERS)))
+def any_model(request):
+    """Parametrized fixture iterating over every canonical machine."""
+    return ALL_MODEL_BUILDERS[request.param]()

@@ -1,0 +1,187 @@
+"""Unit tests for repro.core.abstraction (Section 6)."""
+
+import pytest
+
+from repro.core.abstraction import (
+    abstraction_fibers,
+    drop_vars,
+    inherited_forall_k,
+    is_homomorphic_image,
+    observe_state_component,
+    project_vars,
+    quotient,
+)
+from repro.core.distinguish import analyze_forall_k
+from repro.core.mealy import MealyError, MealyMachine
+
+
+def var_machine():
+    """A machine whose states are variable maps {ctrl, data}.
+
+    ``ctrl`` drives control flow and outputs; ``data`` is observable
+    payload that does not influence anything -- the datapath analogue.
+    """
+    def st(ctrl, data):
+        return {"ctrl": ctrl, "data": data}
+
+    m = MealyMachine(
+        tuple(sorted(st("idle", 0).items())), name="varmachine"
+    )
+    # Build with canonical tuple states so they are hashable.
+    def key(ctrl, data):
+        return tuple(sorted(st(ctrl, data).items()))
+
+    class DictState(dict):
+        pass
+
+    # Use plain dict-as-mapping states via frozenset is awkward; build
+    # explicit hashable mapping states instead.
+    return None
+
+
+class FrozenState(dict):
+    """A hashable mapping state for abstraction tests."""
+
+    def __hash__(self):
+        return hash(tuple(sorted(self.items())))
+
+    def __eq__(self, other):
+        return dict.__eq__(self, other)
+
+
+def control_data_machine():
+    """States carry a control var (drives behaviour) and a data var
+    (pure payload).  Abstracting away ``data`` is lossless for control."""
+    def s(ctrl, data):
+        return FrozenState(ctrl=ctrl, data=data)
+
+    m = MealyMachine(s("A", 0), name="ctrl-data")
+    for data in (0, 1):
+        other = 1 - data
+        m.add_transition(s("A", data), "go", "started", s("B", other))
+        m.add_transition(s("A", data), "halt", "idle", s("A", data))
+        m.add_transition(s("B", data), "go", "running", s("B", other))
+        m.add_transition(s("B", data), "halt", "stopped", s("A", data))
+    return m
+
+
+def leaky_machine():
+    """Output depends on the variable being abstracted away -- the
+    'abstracting too much' situation of Section 6.3."""
+    def s(ctrl, reg):
+        return FrozenState(ctrl=ctrl, reg=reg)
+
+    m = MealyMachine(s("A", 0), name="leaky")
+    for reg in (0, 1):
+        m.add_transition(s("A", reg), "use", f"val{reg}", s("A", reg))
+        m.add_transition(s("A", reg), "set0", "ok", s("A", 0))
+        m.add_transition(s("A", reg), "set1", "ok", s("A", 1))
+    return m
+
+
+class TestQuotient:
+    def test_quotient_of_lossless_abstraction_deterministic(self):
+        m = control_data_machine()
+        q = quotient(m, project_vars(["ctrl"]))
+        assert q.is_output_deterministic()
+        det = q.determinize_outputs()
+        assert len(det) == 2
+        assert det.num_transitions() == 4
+
+    def test_quotient_of_leaky_abstraction_nondeterministic(self):
+        m = leaky_machine()
+        q = quotient(m, project_vars(["ctrl"]))
+        assert not q.is_output_deterministic()
+        bad = q.output_nondeterministic_pairs()
+        assert len(bad) == 1
+        (state, inp, outs), = bad
+        assert inp == "use"
+        assert outs == {"val0", "val1"}
+
+    def test_quotient_behaviour_matches_concrete(self):
+        m = control_data_machine()
+        det = quotient(m, project_vars(["ctrl"])).determinize_outputs()
+        for seq in [("go",), ("go", "go", "halt"), ("halt", "go")]:
+            assert det.output_sequence(seq) == m.output_sequence(seq)
+
+    def test_identity_quotient_is_isomorphic(self, fig2_machine):
+        q = quotient(fig2_machine, lambda s: s)
+        assert q.is_deterministic()
+        det = q.determinize_outputs()
+        assert det.equivalent_to(fig2_machine) is None
+
+
+class TestVarMaps:
+    def test_project_vars_canonical(self):
+        f = project_vars(["b", "a"])
+        assert f(FrozenState(a=1, b=2, c=3)) == (("a", 1), ("b", 2))
+
+    def test_project_vars_rejects_nonmapping(self):
+        f = project_vars(["a"])
+        with pytest.raises(MealyError):
+            f("not-a-mapping")
+
+    def test_drop_vars_complements(self):
+        f = drop_vars(["data"], ["ctrl", "data"])
+        assert f(FrozenState(ctrl="A", data=7)) == (("ctrl", "A"),)
+
+    def test_fibers(self):
+        m = control_data_machine()
+        fibers = abstraction_fibers(m, project_vars(["ctrl"]))
+        assert len(fibers) == 2
+        assert all(len(group) == 2 for group in fibers.values())
+
+
+class TestHomomorphism:
+    def test_quotient_is_homomorphic_image(self):
+        m = control_data_machine()
+        sm = project_vars(["ctrl"])
+        q = quotient(m, sm)
+        assert is_homomorphic_image(m, q, sm)
+
+    def test_wrong_map_not_homomorphic(self):
+        m = control_data_machine()
+        sm = project_vars(["ctrl"])
+        q = quotient(m, sm)
+        other = project_vars(["data"])
+        assert not is_homomorphic_image(m, q, other)
+
+
+class TestInheritance:
+    def test_forall_k_inherited_by_abstraction(self):
+        m = control_data_machine()
+        # Concrete machine with data observable in output:
+        rich = observe_state_component(m, lambda s: s["ctrl"])
+        conc, abst = inherited_forall_k(rich, project_vars(["ctrl"]))
+        assert conc.holds is False or conc.holds  # well-formed reports
+        if conc.holds and abst.holds:
+            assert abst.k <= conc.k
+
+    def test_inheritance_on_shift_register(self, shiftreg3):
+        # Merge the two middle bits' distinction away via a map on
+        # tuple states that keeps full behaviour (identity): degenerate
+        # check of the plumbing.
+        conc, abst = inherited_forall_k(shiftreg3, lambda s: s)
+        assert conc.k == abst.k == 3
+
+
+class TestObservation:
+    def test_observation_enriches_outputs(self, fig2_machine):
+        rich = observe_state_component(fig2_machine, lambda s: s)
+        t = rich.transition("s3", "c")
+        assert t.out == ("o3", "s3")
+
+    def test_observation_preserves_structure(self, fig2_machine):
+        rich = observe_state_component(fig2_machine, lambda s: s)
+        assert rich.states == fig2_machine.states
+        assert rich.num_transitions() == fig2_machine.num_transitions()
+
+    def test_partial_observation_may_not_fix(self, fig2_machine):
+        # Observing a constant changes nothing.
+        rich = observe_state_component(fig2_machine, lambda s: "const")
+        assert not analyze_forall_k(rich).holds
+
+    def test_full_observation_fixes_fig2(self, fig2_machine):
+        rich = observe_state_component(fig2_machine, lambda s: s)
+        report = analyze_forall_k(rich)
+        assert report.holds and report.k == 1

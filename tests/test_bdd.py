@@ -1,0 +1,255 @@
+"""Unit tests for the ROBDD engine (repro.bdd.manager)."""
+
+import itertools
+
+import pytest
+
+from repro.bdd.manager import FALSE, TRUE, BDDError, BDDManager
+
+
+@pytest.fixture
+def mgr():
+    m = BDDManager()
+    m.add_vars(["a", "b", "c", "d"])
+    return m
+
+
+def brute_force_equal(mgr, f, oracle, names):
+    """Compare a BDD against a Python oracle on the full cube."""
+    for bits in itertools.product((False, True), repeat=len(names)):
+        env = dict(zip(names, bits))
+        assert mgr.evaluate(f, env) == oracle(**env), env
+
+
+class TestBasics:
+    def test_terminals(self, mgr):
+        assert mgr.evaluate(TRUE, {}) is True
+        assert mgr.evaluate(FALSE, {}) is False
+
+    def test_var_literal(self, mgr):
+        a = mgr.var("a")
+        assert mgr.evaluate(a, {"a": True})
+        assert not mgr.evaluate(a, {"a": False})
+
+    def test_nvar_literal(self, mgr):
+        na = mgr.nvar("a")
+        assert mgr.evaluate(na, {"a": False})
+
+    def test_unknown_var_rejected(self, mgr):
+        with pytest.raises(BDDError):
+            mgr.var("zz")
+
+    def test_canonicity(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f1 = mgr.apply_and(a, b)
+        f2 = mgr.apply_not(mgr.apply_or(mgr.apply_not(a), mgr.apply_not(b)))
+        assert f1 == f2  # De Morgan, same node id
+
+    def test_var_order_is_registration_order(self, mgr):
+        assert mgr.level_of("a") < mgr.level_of("b")
+        assert mgr.name_at(0) == "a"
+
+    def test_add_var_idempotent(self, mgr):
+        before = mgr.level_of("b")
+        mgr.add_var("b")
+        assert mgr.level_of("b") == before
+
+
+class TestConnectives:
+    def test_and_or_xor_against_oracle(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = mgr.apply_or(mgr.apply_and(a, b), mgr.apply_xor(b, c))
+        brute_force_equal(
+            mgr,
+            f,
+            lambda a, b, c, d: (a and b) or (b != c),
+            ["a", "b", "c", "d"],
+        )
+
+    def test_ite_against_oracle(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = mgr.ite(a, b, c)
+        brute_force_equal(
+            mgr,
+            f,
+            lambda a, b, c, d: b if a else c,
+            ["a", "b", "c", "d"],
+        )
+
+    def test_xnor(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.apply_xnor(a, b)
+        brute_force_equal(
+            mgr, f, lambda a, b, c, d: a == b, ["a", "b", "c", "d"]
+        )
+
+    def test_not_involution(self, mgr):
+        a = mgr.var("a")
+        assert mgr.apply_not(mgr.apply_not(a)) == a
+
+    def test_implies(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        assert mgr.implies(mgr.apply_and(a, b), a)
+        assert not mgr.implies(a, mgr.apply_and(a, b))
+
+    def test_and_short_circuit(self, mgr):
+        a = mgr.var("a")
+        assert mgr.apply_and(a, FALSE, mgr.var("b")) == FALSE
+        assert mgr.apply_or(a, TRUE) == TRUE
+
+
+class TestCofactorQuantify:
+    def test_restrict(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.apply_and(a, b)
+        assert mgr.restrict(f, "a", True) == b
+        assert mgr.restrict(f, "a", False) == FALSE
+
+    def test_restrict_below_var(self, mgr):
+        b = mgr.var("b")
+        assert mgr.restrict(b, "a", True) == b
+
+    def test_exists(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.apply_and(a, b)
+        assert mgr.exists(f, ["a"]) == b
+        assert mgr.exists(f, ["a", "b"]) == TRUE
+
+    def test_exists_empty_set(self, mgr):
+        f = mgr.var("a")
+        assert mgr.exists(f, []) == f
+
+    def test_forall(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.apply_or(a, b)
+        assert mgr.forall(f, ["a"]) == b
+        assert mgr.forall(f, ["a", "b"]) == FALSE
+
+    def test_and_exists_matches_two_step(self, mgr):
+        a, b, c, d = (mgr.var(v) for v in "abcd")
+        f = mgr.apply_or(mgr.apply_and(a, b), c)
+        g = mgr.apply_or(mgr.apply_and(b, d), mgr.apply_not(c))
+        fused = mgr.and_exists(f, g, ["b", "c"])
+        twostep = mgr.exists(mgr.apply_and(f, g), ["b", "c"])
+        assert fused == twostep
+
+    def test_and_exists_no_quantification(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        assert mgr.and_exists(a, b, []) == mgr.apply_and(a, b)
+
+
+class TestSubstituteCompose:
+    def test_substitute_rename(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.apply_and(a, mgr.apply_not(b))
+        g = mgr.substitute(f, {"a": "c", "b": "d"})
+        c, d = mgr.var("c"), mgr.var("d")
+        assert g == mgr.apply_and(c, mgr.apply_not(d))
+
+    def test_substitute_swap(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.apply_and(a, mgr.apply_not(b))
+        g = mgr.substitute(f, {"a": "b", "b": "a"})
+        assert g == mgr.apply_and(b, mgr.apply_not(a))
+
+    def test_substitute_order_violating(self, mgr):
+        # Rename a later variable to an earlier one: must stay correct.
+        c = mgr.var("c")
+        f = mgr.apply_and(c, mgr.var("d"))
+        g = mgr.substitute(f, {"c": "a"})
+        brute_force_equal(
+            mgr, g, lambda a, b, c, d: a and d, ["a", "b", "c", "d"]
+        )
+
+    def test_compose(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = mgr.apply_or(a, b)
+        g = mgr.compose(f, "a", mgr.apply_and(b, c))
+        brute_force_equal(
+            mgr, g, lambda a, b, c, d: (b and c) or b, ["a", "b", "c", "d"]
+        )
+
+
+class TestCounting:
+    def test_sat_count_simple(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.apply_and(a, b)
+        assert mgr.sat_count(f, over=["a", "b"]) == 1
+        assert mgr.sat_count(f, over=["a", "b", "c"]) == 2
+        assert mgr.sat_count(mgr.apply_or(a, b), over=["a", "b"]) == 3
+
+    def test_sat_count_terminals(self, mgr):
+        assert mgr.sat_count(TRUE, over=["a", "b"]) == 4
+        assert mgr.sat_count(FALSE, over=["a", "b"]) == 0
+
+    def test_sat_count_requires_support(self, mgr):
+        f = mgr.var("c")
+        with pytest.raises(BDDError):
+            mgr.sat_count(f, over=["a"])
+
+    def test_sat_count_default_all_vars(self, mgr):
+        a = mgr.var("a")
+        assert mgr.sat_count(a) == 8  # 2^3 over the other three vars
+
+    def test_sat_iter_matches_count(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = mgr.apply_xor(a, mgr.apply_and(b, c))
+        sols = list(mgr.sat_iter(f, over=["a", "b", "c"]))
+        assert len(sols) == mgr.sat_count(f, over=["a", "b", "c"])
+        for env in sols:
+            assert mgr.evaluate(f, env)
+
+    def test_pick_one(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.apply_and(a, mgr.apply_not(b))
+        env = mgr.pick_one(f)
+        assert env == {"a": True, "b": False}
+        assert mgr.pick_one(FALSE) is None
+
+    def test_support(self, mgr):
+        a, c = mgr.var("a"), mgr.var("c")
+        f = mgr.apply_and(a, c)
+        assert mgr.support(f) == {"a", "c"}
+        assert mgr.support(TRUE) == set()
+
+    def test_size(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        assert mgr.size(TRUE) == 0
+        assert mgr.size(a) == 1
+        assert mgr.size(mgr.apply_and(a, b)) == 2
+
+    def test_cube(self, mgr):
+        f = mgr.cube({"a": True, "c": False})
+        assert mgr.sat_count(f, over=["a", "c"]) == 1
+        assert mgr.pick_one(f) == {"a": True, "c": False}
+
+
+class TestSemanticStress:
+    def test_random_expression_agreement(self):
+        """Random 3-term DNF over 5 vars: BDD == truth table."""
+        import random
+
+        rng = random.Random(42)
+        names = [f"v{i}" for i in range(5)]
+        for _trial in range(30):
+            mgr = BDDManager()
+            mgr.add_vars(names)
+            terms = []
+            py_terms = []
+            for _t in range(3):
+                lits = []
+                py_lits = []
+                for name in rng.sample(names, 3):
+                    pos = rng.random() < 0.5
+                    lits.append(mgr.var(name) if pos else mgr.nvar(name))
+                    py_lits.append((name, pos))
+                terms.append(mgr.apply_and(*lits))
+                py_terms.append(py_lits)
+            f = mgr.apply_or(*terms)
+            for bits in itertools.product((False, True), repeat=5):
+                env = dict(zip(names, bits))
+                expect = any(
+                    all(env[n] == pos for n, pos in term)
+                    for term in py_terms
+                )
+                assert mgr.evaluate(f, env) == expect

@@ -1,0 +1,90 @@
+"""Tests for FORCE static variable ordering."""
+
+import pytest
+
+from repro.bdd import from_netlist, reachable_states
+from repro.bdd.ordering import force_order, hyperedges, total_span
+from repro.rtl import Netlist, and_, var, xor_
+from tests.test_rtl_netlist import counter_netlist
+
+
+def interleaved_pairs_netlist(pairs=6):
+    """Bits that interact pairwise but are declared maximally far
+    apart: a worst case declaration order FORCE should untangle."""
+    net = Netlist("pairs")
+    for k in range(pairs):
+        net.add_input(f"a{k}")
+    for k in range(pairs):
+        net.add_input(f"b{k}")
+    # Each register couples a_k with b_k only.
+    for k in range(pairs):
+        net.add_register(
+            f"r{k}", next=and_(var(f"a{k}"), var(f"b{k}"))
+        )
+    out = var("r0")
+    for k in range(1, pairs):
+        out = xor_(out, var(f"r{k}"))
+    net.add_output("parity", out)
+    return net
+
+
+class TestForce:
+    def test_order_is_permutation(self):
+        net = counter_netlist(4)
+        order = force_order(net)
+        assert sorted(order) == sorted(
+            list(net.inputs) + list(net.register_names)
+        )
+
+    def test_span_never_worse_than_declaration(self):
+        net = interleaved_pairs_netlist()
+        edges = hyperedges(net)
+        declared = list(net.inputs) + list(net.register_names)
+        assert total_span(force_order(net), edges) <= total_span(
+            declared, edges
+        )
+
+    def test_span_improves_on_tangled_netlist(self):
+        net = interleaved_pairs_netlist(8)
+        edges = hyperedges(net)
+        declared = list(net.inputs) + list(net.register_names)
+        assert total_span(force_order(net), edges) < total_span(
+            declared, edges
+        )
+
+    def test_edgeless_netlist(self):
+        net = Netlist("lonely")
+        net.add_input("i")
+        net.add_register("q", next=var("q"))
+        net.add_output("o", var("q"))
+        # The register's edge is a singleton after dedup ({'q'}).
+        order = force_order(net)
+        assert sorted(order) == ["i", "q"]
+
+
+class TestOrderedEncoding:
+    def test_reachability_invariant_under_order(self):
+        net = counter_netlist(4)
+        default = reachable_states(from_netlist(net, partitioned=True))
+        forced = reachable_states(
+            from_netlist(net, partitioned=True, order=force_order(net))
+        )
+        assert default.num_states == forced.num_states
+        assert default.iterations == forced.iterations
+
+    def test_bad_order_rejected(self):
+        net = counter_netlist(2)
+        with pytest.raises(ValueError):
+            from_netlist(net, order=["q0"])  # not a permutation
+
+    def test_force_order_on_dlx_tour_netlist(self):
+        """FORCE must at least not hurt the partitioned relation size
+        on the case-study model (and usually helps)."""
+        from repro.dlx.testmodel import tour_netlist
+
+        net = tour_netlist()
+        default = from_netlist(net, partitioned=True)
+        forced = from_netlist(
+            net, partitioned=True, order=force_order(net)
+        )
+        assert forced.relation_size() <= 2 * default.relation_size()

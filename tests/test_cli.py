@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTour:
+    def test_tour_vending(self, capsys):
+        assert main(["tour", "vending"]) == 0
+        out = capsys.readouterr().out
+        assert "cpp tour" in out
+
+    def test_tour_show_and_campaign(self, capsys):
+        assert main(["tour", "figure2", "--method", "greedy",
+                     "--show", "--campaign"]) == 0
+        out = capsys.readouterr().out
+        assert "error coverage" in out
+
+    def test_unknown_model(self, capsys):
+        assert main(["tour", "nonsense"]) == 2
+
+
+class TestValidate:
+    def test_validate_pass(self, tmp_path, capsys):
+        asm = tmp_path / "prog.s"
+        asm.write_text("addi r1, r0, 2\nadd r2, r1, r1\nhalt\n")
+        assert main(["validate", str(asm)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_validate_with_bug_fails(self, tmp_path, capsys):
+        asm = tmp_path / "prog.s"
+        # Store 7, reload it, and consume the load immediately: with
+        # the interlock dropped the consumer sees the load's *address*
+        # (3) instead of its data (7).
+        asm.write_text(
+            "addi r1, r0, 7\n"
+            "sw r1, 3(r0)\n"
+            "lw r2, 3(r0)\n"
+            "add r3, r2, r2\n"
+            "sw r3, 4(r0)\n"
+            "halt\n"
+        )
+        assert main(
+            ["validate", str(asm), "--bug", "interlock_dropped"]
+        ) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_unknown_bug(self, tmp_path):
+        asm = tmp_path / "prog.s"
+        asm.write_text("halt\n")
+        assert main(["validate", str(asm), "--bug", "nope"]) == 2
+
+
+class TestOthers:
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "interlock_dropped" in out
+        assert "[bypass]" in out
+
+    def test_fig3b(self, capsys):
+        assert main(["fig3b"]) == 0
+        out = capsys.readouterr().out
+        assert "160" in out
+        assert "remove interlock registers" in out
+
+    def test_stats_small(self, capsys):
+        assert main(["stats", "--small"]) == 0
+        out = capsys.readouterr().out
+        assert "reachable" in out
+        assert "transitions:" in out

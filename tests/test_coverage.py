@@ -1,0 +1,118 @@
+"""Unit tests for repro.core.coverage."""
+
+import pytest
+
+from repro.core.coverage import (
+    CoverageTracker,
+    coverage_profile,
+    is_state_tour,
+    is_transition_tour,
+    reachable_transitions,
+    state_coverage,
+    transition_coverage,
+)
+from repro.core.mealy import MealyMachine
+
+
+class TestReports:
+    def test_empty_run_covers_initial_state_only(self, fig2_machine):
+        rep = state_coverage(fig2_machine, [])
+        assert rep.covered == {"s1"}
+        assert rep.fraction == pytest.approx(1 / 7)
+        assert not rep.complete
+
+    def test_transition_coverage_counts(self, fig2_machine):
+        rep = transition_coverage(fig2_machine, ["a", "a", "b"])
+        assert len(rep.covered) == 3
+        assert rep.total == frozenset(fig2_machine.transitions)
+
+    def test_missed_items(self, fig2_machine):
+        rep = transition_coverage(fig2_machine, ["a"])
+        assert len(rep.missed) == fig2_machine.num_transitions() - 1
+
+    def test_fraction_complete(self, fig2_machine):
+        from repro.tour import transition_tour
+
+        tour = transition_tour(fig2_machine)
+        rep = transition_coverage(fig2_machine, tour.inputs)
+        assert rep.complete
+        assert rep.fraction == 1.0
+
+    def test_str_rendering(self, fig2_machine):
+        rep = state_coverage(fig2_machine, ["a"])
+        assert "state coverage" in str(rep)
+
+    def test_undefined_step_raises(self):
+        m = MealyMachine("a")
+        m.add_transition("a", 0, "o", "a")
+        with pytest.raises(ValueError):
+            transition_coverage(m, [1])
+
+    def test_unreachable_transitions_excluded(self):
+        m = MealyMachine("a")
+        m.add_transition("a", 0, "o", "a")
+        m.add_transition("ghost", 0, "o", "a")
+        assert len(reachable_transitions(m)) == 1
+        rep = transition_coverage(m, [0])
+        assert rep.complete
+
+
+class TestTourPredicates:
+    def test_is_transition_tour(self, fig2_machine):
+        from repro.tour import transition_tour
+
+        tour = transition_tour(fig2_machine)
+        assert is_transition_tour(fig2_machine, tour.inputs)
+        assert not is_transition_tour(fig2_machine, tour.inputs[:-2])
+
+    def test_state_tour_weaker(self, fig2_machine):
+        from repro.tour import state_tour
+
+        walk = state_tour(fig2_machine)
+        assert is_state_tour(fig2_machine, walk.inputs)
+        assert not is_transition_tour(fig2_machine, walk.inputs)
+
+
+class TestTracker:
+    def test_tracker_matches_batch(self, fig2_machine):
+        inputs = ["a", "a", "b", "c", "a"]
+        tracker = CoverageTracker(fig2_machine)
+        tracker.feed_all(inputs)
+        assert tracker.steps == 5
+        batch_s = state_coverage(fig2_machine, inputs)
+        batch_t = transition_coverage(fig2_machine, inputs)
+        assert tracker.state_report().covered == batch_s.covered
+        assert tracker.transition_report().covered == batch_t.covered
+
+    def test_tracker_exposes_state_and_outputs(self, fig2_machine):
+        tracker = CoverageTracker(fig2_machine)
+        nxt, out = tracker.feed("a")
+        assert nxt == "s2"
+        assert out == "o0"
+        assert tracker.state == "s2"
+
+    def test_tracker_rejects_undefined(self):
+        m = MealyMachine("a")
+        m.add_transition("a", 0, "o", "a")
+        tracker = CoverageTracker(m)
+        with pytest.raises(ValueError):
+            tracker.feed(1)
+
+
+class TestProfile:
+    def test_profile_monotone(self, fig2_machine):
+        from repro.tour import transition_tour
+
+        tour = transition_tour(fig2_machine)
+        profile = coverage_profile(fig2_machine, tour.inputs)
+        assert len(profile) == len(tour.inputs)
+        scov = [p[1] for p in profile]
+        tcov = [p[2] for p in profile]
+        assert scov == sorted(scov)
+        assert tcov == sorted(tcov)
+        assert tcov[-1] == 1.0
+
+    def test_profile_steps_indexed_from_one(self, fig2_machine):
+        profile = coverage_profile(fig2_machine, ["a", "b"])
+        assert profile[0][0] == 1
+        assert profile[-1][0] == 2

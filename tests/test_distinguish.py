@@ -1,0 +1,132 @@
+"""Unit tests for repro.core.distinguish (Definition 5)."""
+
+import pytest
+
+from repro.core.distinguish import (
+    DistinguishabilityError,
+    analyze_forall_k,
+    distinguishability_matrix,
+    equal_output_pairs_at,
+    forall_k_distinguishable,
+    forall_k_distinguishable_bruteforce,
+    observability_deficit,
+    shortest_distinguishing_sequence,
+)
+from repro.core.generate import with_observable_state
+from repro.core.mealy import MealyMachine
+
+
+class TestForallK:
+    def test_fig2_residual_pair_is_s3_s3p(self, fig2_machine):
+        report = analyze_forall_k(fig2_machine)
+        assert not report.holds
+        assert ("s3", "s3p") in report.residual_pairs
+
+    def test_fig2_s3_not_forall_1(self, fig2_machine):
+        # Input c produces identical outputs from s3 and s3p.
+        assert not forall_k_distinguishable(fig2_machine, "s3", "s3p", 1)
+
+    def test_state_with_itself_never_distinguishable(self, adder):
+        assert not forall_k_distinguishable(adder, 0, 0, 3)
+
+    def test_k_zero_never_distinguishes(self, adder):
+        assert not forall_k_distinguishable(adder, 0, 1, 0)
+
+    def test_observable_state_gives_forall_1(self, fig2_machine):
+        rich = with_observable_state(fig2_machine)
+        report = analyze_forall_k(rich)
+        assert report.holds
+        assert report.k == 1
+
+    def test_shift_register_needs_k_equal_width(self, shiftreg3):
+        report = analyze_forall_k(shiftreg3)
+        assert report.holds
+        assert report.k == 3
+
+    def test_shift_register_pairwise(self, shiftreg3):
+        # Two states differing only in the last (most recently shifted)
+        # bit need all 3 steps before the difference reaches the output.
+        assert not forall_k_distinguishable(shiftreg3, (0, 0, 0), (0, 0, 1), 2)
+        assert forall_k_distinguishable(shiftreg3, (0, 0, 0), (0, 0, 1), 3)
+        # States differing in the oldest bit are forall-1.
+        assert forall_k_distinguishable(shiftreg3, (0, 0, 0), (1, 0, 0), 1)
+
+    def test_counter_is_forall_1(self, counter3):
+        report = analyze_forall_k(counter3)
+        assert report.holds and report.k == 1
+
+    def test_monotone_in_k(self, shiftreg3):
+        # Once distinguishable at k, distinguishable at every k' >= k.
+        assert forall_k_distinguishable(shiftreg3, (0, 0, 0), (0, 0, 1), 3)
+        assert forall_k_distinguishable(shiftreg3, (0, 0, 0), (0, 0, 1), 5)
+
+    def test_incomplete_machine_rejected(self):
+        m = MealyMachine("a")
+        m.add_transition("a", 0, "o", "b")
+        m.add_transition("b", 0, "o", "a")
+        m.add_transition("a", 1, "p", "a")
+        with pytest.raises(DistinguishabilityError):
+            analyze_forall_k(m)
+
+    def test_max_k_caps_search(self, shiftreg3):
+        report = analyze_forall_k(shiftreg3, max_k=1)
+        assert not report.holds  # needs k=3, capped at 1
+        assert report.residual_pairs
+
+
+class TestBruteforceAgreement:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_fixed_point_matches_bruteforce(self, any_model, k):
+        states = sorted(any_model.states, key=repr)
+        for i, a in enumerate(states):
+            for b in states[i + 1:]:
+                assert forall_k_distinguishable(
+                    any_model, a, b, k
+                ) == forall_k_distinguishable_bruteforce(any_model, a, b, k)
+
+    def test_eq_pairs_shrink_with_k(self, any_model):
+        prev = None
+        for k in range(1, 4):
+            cur = equal_output_pairs_at(any_model, k)
+            if prev is not None:
+                assert cur <= prev
+            prev = cur
+
+
+class TestExistsDistinguishing:
+    def test_shortest_sequence_fig2(self, fig2_machine):
+        seq = shortest_distinguishing_sequence(fig2_machine, "s3", "s3p")
+        assert seq == ("b",)
+
+    def test_equal_state_none(self, fig2_machine):
+        assert shortest_distinguishing_sequence(fig2_machine, "s3", "s3") is None
+
+    def test_equivalent_states_none(self):
+        m = MealyMachine.from_transitions(
+            "a",
+            [
+                ("a", 0, "o", "b"),
+                ("b", 0, "o", "a"),
+            ],
+        )
+        assert shortest_distinguishing_sequence(m, "a", "b") is None
+
+    def test_matrix_covers_all_pairs(self, fig2_machine):
+        matrix = distinguishability_matrix(fig2_machine)
+        n = len(fig2_machine.states)
+        assert len(matrix) == n * (n - 1) // 2
+        assert matrix[("s3", "s3p")] == 1
+
+    def test_matrix_none_only_for_equivalent(self, counter3):
+        matrix = distinguishability_matrix(counter3)
+        assert all(v is not None for v in matrix.values())
+
+
+class TestDeficit:
+    def test_observability_deficit_lists_residuals(self, fig2_machine):
+        deficit = observability_deficit(fig2_machine)
+        assert ("s3", "s3p") in deficit
+
+    def test_no_deficit_after_observation(self, fig2_machine):
+        rich = with_observable_state(fig2_machine)
+        assert observability_deficit(rich) == []

@@ -1,0 +1,167 @@
+"""Unit tests for the behavioral (ISA-level) DLX simulator."""
+
+import pytest
+
+from repro.dlx.assembler import assemble
+from repro.dlx.behavioral import PSW, BehavioralDLX, ExecutionError, alu
+from repro.dlx.isa import HALT, Instruction, Op
+
+
+def run_asm(text, data=None, **kwargs):
+    sim = BehavioralDLX(assemble(text), data, **kwargs)
+    checkpoints = sim.run()
+    return sim, checkpoints
+
+
+class TestALU:
+    def test_arithmetic(self):
+        assert alu(Op.ADD, 2, 3) == 5
+        assert alu(Op.SUB, 2, 3) == (2 - 3) & 0xFFFFFFFF
+        assert alu(Op.ADDI, 0xFFFFFFFF, 1) == 0  # wraparound
+
+    def test_logic(self):
+        assert alu(Op.AND, 0b1100, 0b1010) == 0b1000
+        assert alu(Op.OR, 0b1100, 0b1010) == 0b1110
+        assert alu(Op.XOR, 0b1100, 0b1010) == 0b0110
+
+    def test_shifts(self):
+        assert alu(Op.SLL, 1, 4) == 16
+        assert alu(Op.SRL, 16, 4) == 1
+        assert alu(Op.SLL, 1, 33) == 2  # shift amount mod 32
+
+    def test_compares_signed(self):
+        assert alu(Op.SLT, 0xFFFFFFFF, 1) == 1  # -1 < 1
+        assert alu(Op.SGT, 1, 0xFFFFFFFF) == 1
+        assert alu(Op.SEQ, 7, 7) == 1
+        assert alu(Op.SEQ, 7, 8) == 0
+
+    def test_lhi(self):
+        assert alu(Op.LHI, 0, 0x1234) == 0x12340000
+
+
+class TestExecution:
+    def test_register_arithmetic(self):
+        sim, _cps = run_asm(
+            "addi r1, r0, 4\naddi r2, r0, 6\nadd r3, r1, r2\nhalt"
+        )
+        assert sim.regs[3] == 10
+
+    def test_r0_stays_zero(self):
+        sim, _cps = run_asm("addi r0, r0, 99\nhalt")
+        assert sim.regs[0] == 0
+
+    def test_memory_roundtrip(self):
+        sim, cps = run_asm(
+            "addi r1, r0, 42\nsw r1, 5(r0)\nlw r2, 5(r0)\nhalt"
+        )
+        assert sim.regs[2] == 42
+        assert cps[1].mem_write == (5, 42)
+
+    def test_initial_data_memory(self):
+        sim, _cps = run_asm("lw r1, 3(r0)\nhalt", data={3: 17})
+        assert sim.regs[1] == 17
+
+    def test_branch_taken_and_not(self):
+        sim, _cps = run_asm(
+            """
+                addi r1, r0, 1
+                beqz r0, skip      ; taken: r0 is zero
+                addi r2, r0, 111   ; skipped
+            skip:
+                bnez r0, never     ; not taken
+                addi r3, r0, 7
+            never:
+                halt
+            """
+        )
+        assert sim.regs[2] == 0
+        assert sim.regs[3] == 7
+
+    def test_jal_and_jr(self):
+        sim, _cps = run_asm(
+            """
+                jal sub
+                addi r1, r0, 5   ; return lands here
+                halt
+            sub:
+                addi r2, r0, 9
+                jr r31
+            """
+        )
+        assert sim.regs[1] == 5
+        assert sim.regs[2] == 9
+        assert sim.regs[31] == 1
+
+    def test_jalr(self):
+        program = [
+            Instruction(Op.ADDI, rd=1, rs1=0, imm=3),
+            Instruction(Op.JALR, rs1=1),
+            Instruction(Op.ADDI, rd=2, rs1=0, imm=99),  # skipped
+            Instruction(Op.HALT),
+        ]
+        sim = BehavioralDLX(program)
+        sim.run()
+        assert sim.regs[2] == 0
+        assert sim.regs[31] == 2
+
+    def test_psw_updates(self):
+        sim, cps = run_asm(
+            "addi r1, r0, 1\nsubi r2, r1, 1\nsubi r3, r2, 5\nhalt"
+        )
+        assert cps[0].psw == PSW(zero=False, negative=False)
+        assert cps[1].psw == PSW(zero=True, negative=False)
+        assert cps[2].psw == PSW(zero=False, negative=True)
+
+    def test_loads_do_not_touch_psw(self):
+        sim, cps = run_asm(
+            "subi r1, r0, 1\nlw r2, 0(r0)\nhalt", data={0: 0}
+        )
+        assert cps[1].psw == cps[0].psw  # LW preserved the flags
+
+    def test_checkpoint_stream_shape(self):
+        _sim, cps = run_asm("nop\nnop\nhalt")
+        assert [c.index for c in cps] == [0, 1, 2]
+        assert cps[-1].instruction == HALT
+        assert cps[-1].pc_after == 3
+
+    def test_pc_escape_raises(self):
+        sim = BehavioralDLX([Instruction(Op.NOP)])
+        with pytest.raises(ExecutionError):
+            sim.run()
+
+    def test_non_halting_raises(self):
+        sim = BehavioralDLX([Instruction(Op.J, imm=-1), HALT])
+        with pytest.raises(ExecutionError):
+            sim.run(max_steps=100)
+
+    def test_step_after_halt_returns_none(self):
+        sim = BehavioralDLX([HALT])
+        sim.run()
+        assert sim.step() is None
+
+
+class TestBranchOracle:
+    def test_oracle_forces_taken(self):
+        # r1 is nonzero, but the oracle forces "zero" => branch taken.
+        program = assemble(
+            "addi r1, r0, 5\nbeqz r1, skip\naddi r2, r0, 1\nskip: halt"
+        )
+        sim = BehavioralDLX(program, branch_oracle=[True])
+        sim.run()
+        assert sim.regs[2] == 0
+
+    def test_oracle_forces_not_taken(self):
+        program = assemble(
+            "beqz r0, skip\naddi r2, r0, 1\nskip: halt"
+        )
+        sim = BehavioralDLX(program, branch_oracle=[False])
+        sim.run()
+        assert sim.regs[2] == 1
+
+    def test_oracle_exhaustion_falls_back(self):
+        program = assemble(
+            "beqz r0, a\nnop\na: beqz r0, b\nnop\nb: halt"
+        )
+        sim = BehavioralDLX(program, branch_oracle=[True])  # one entry
+        sim.run()  # second branch decided by the real register (taken)
+        assert sim.halted

@@ -1,0 +1,147 @@
+"""Tests for the DLX control netlist (repro.dlx.control).
+
+The crucial property: the netlist -- the artifact the test model is
+abstracted from -- makes the *same control decisions* as the Python
+pipeline implementation, cycle for cycle, on real programs.  This is
+the "test model derived from the implementation" link of Figure 1.
+"""
+
+import random
+
+import pytest
+
+from repro.dlx.control import OUTPUT_SIGNALS, build_control_netlist
+from repro.dlx.isa import Instruction, Op
+from repro.dlx.pipeline import PipelinedDLX
+from repro.dlx.programs import DIRECTED_PROGRAMS, random_data, random_program
+from repro.rtl import inline_registers
+
+
+FWD_CODE = {"none": (False, False), "exmem": (True, False), "memwb": (False, True)}
+
+
+def combinational_control():
+    """The control netlist with the synchronizing output latches
+    removed, so its outputs align with the pipeline's same-cycle
+    control trace (abstraction step 1 of Figure 3(b))."""
+    net = build_control_netlist()
+    latch_names = [
+        f"q_{name}[{i}]" for name, width in OUTPUT_SIGNALS for i in range(width)
+    ]
+    return inline_registers(net, latch_names)
+
+
+def drive_inputs(entry):
+    """Build the netlist input vector for one ControlTrace entry."""
+    instr = entry.fetched
+    fields = {
+        "op": 0 if instr is None else __import__(
+            "repro.dlx.isa", fromlist=["OPCODES"]
+        ).OPCODES[instr.op],
+        "rs1": 0 if instr is None else instr.rs1,
+        "rs2": 0 if instr is None else instr.rs2,
+        "rd": 0 if instr is None else instr.rd,
+    }
+    vec = {}
+    for i in range(6):
+        vec[f"in_op[{i}]"] = bool((fields["op"] >> i) & 1)
+    for name in ("rs1", "rs2", "rd"):
+        for i in range(5):
+            vec[f"in_{name}[{i}]"] = bool((fields[name] >> i) & 1)
+    vec["data_zero"] = entry.ex_a_zero
+    vec["psw_zero_in"] = False
+    vec["psw_neg_in"] = False
+    vec["mem_ready"] = True
+    vec["icache_ready"] = True
+    vec["fetch_en"] = entry.can_fetch
+    return vec
+
+
+def run_lockstep(program, data=None):
+    """Run the pipeline, replay its trace into the netlist, compare."""
+    impl = PipelinedDLX(program, data)
+    impl.run()
+    net = combinational_control()
+    state = net.reset_state()
+    for entry in impl.trace:
+        state_next, outs = net.step(state, drive_inputs(entry))
+        assert outs["stall[0]"] == entry.stall, f"stall @ {entry.cycle}"
+        assert outs["squash[0]"] == entry.squash, f"squash @ {entry.cycle}"
+        assert (
+            outs["branch_taken[0]"] == entry.branch_taken
+        ), f"branch_taken @ {entry.cycle}"
+        for sig, value in (
+            ("fwd_a", entry.fwd_a),
+            ("fwd_b", entry.fwd_b),
+            ("fwd_st", entry.fwd_store),
+        ):
+            want0, want1 = FWD_CODE[value]
+            assert outs[f"{sig}[0]"] == want0, f"{sig}[0] @ {entry.cycle}"
+            assert outs[f"{sig}[1]"] == want1, f"{sig}[1] @ {entry.cycle}"
+        # Stage validity mirrors the pipeline latches.
+        assert state["v_id[0]"] == entry.id_valid, f"v_id @ {entry.cycle}"
+        assert state["v_ex[0]"] == entry.ex_valid, f"v_ex @ {entry.cycle}"
+        assert state["v_mem[0]"] == entry.mem_valid, f"v_mem @ {entry.cycle}"
+        assert state["v_wb[0]"] == entry.wb_valid, f"v_wb @ {entry.cycle}"
+        state = state_next
+
+
+class TestStructure:
+    def test_initial_model_matches_paper_shape(self):
+        net = build_control_netlist()
+        stats = net.stats()
+        # The paper's initial model: 160 state elements, 32 outputs.
+        assert stats["latches"] == 160
+        assert stats["outputs"] == 32
+        net.validate()
+
+    def test_register_groups_present(self):
+        net = build_control_netlist()
+        regs = set(net.register_names)
+        for stage in ("id", "ex", "mem", "wb"):
+            assert f"{stage}_op[0]" in regs
+            assert f"v_{stage}[0]" in regs
+        assert "fctl_run" in regs
+        assert "il_load_ex" in regs
+        assert "psw_zero_q" in regs
+        assert "q_stall[0]" in regs
+
+    def test_inlined_model_loses_output_latches(self):
+        net = combinational_control()
+        assert net.latch_count() == 160 - 32
+        assert not any(n.startswith("q_") for n in net.register_names)
+
+
+class TestLockstepAgainstPipeline:
+    @pytest.mark.parametrize("name", sorted(DIRECTED_PROGRAMS))
+    def test_directed_programs(self, name):
+        run_lockstep(DIRECTED_PROGRAMS[name])
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_programs(self, seed):
+        rng = random.Random(seed)
+        program = random_program(rng, length=30)
+        data = random_data(rng)
+        run_lockstep(program, data)
+
+    def test_load_use_stall_visible(self):
+        program = [
+            Instruction(Op.LW, rd=1, rs1=0, imm=0),
+            Instruction(Op.ADD, rd=2, rs1=1, rs2=1),
+            Instruction(Op.HALT),
+        ]
+        impl = PipelinedDLX(program, {0: 7})
+        impl.run()
+        assert any(t.stall for t in impl.trace)
+        run_lockstep(program, {0: 7})
+
+    def test_taken_branch_squash_visible(self):
+        program = [
+            Instruction(Op.J, imm=1),
+            Instruction(Op.ADDI, rd=1, rs1=0, imm=9),
+            Instruction(Op.HALT),
+        ]
+        impl = PipelinedDLX(program)
+        impl.run()
+        assert any(t.squash for t in impl.trace)
+        run_lockstep(program)

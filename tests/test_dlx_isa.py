@@ -1,0 +1,208 @@
+"""Unit + property tests for repro.dlx.isa and the assembler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dlx.assembler import AssemblerError, assemble, disassemble
+from repro.dlx.isa import (
+    ALU_IMM_OPS,
+    BRANCH_OPS,
+    JUMP_OPS,
+    LOAD_OPS,
+    R_TYPE_OPS,
+    STORE_OPS,
+    EncodingError,
+    Format,
+    HALT,
+    Instruction,
+    NOP,
+    Op,
+    OPCODES,
+    decode,
+    encode,
+    format_of,
+    is_valid_word,
+)
+
+
+def representative_instructions():
+    """One well-formed instruction per operation."""
+    out = []
+    for op in Op:
+        if op in R_TYPE_OPS:
+            out.append(Instruction(op, rd=3, rs1=1, rs2=2))
+        elif op == Op.LHI:
+            out.append(Instruction(op, rd=4, imm=77))
+        elif op in ALU_IMM_OPS:
+            out.append(Instruction(op, rd=5, rs1=6, imm=-9))
+        elif op in LOAD_OPS:
+            out.append(Instruction(op, rd=7, rs1=8, imm=12))
+        elif op in STORE_OPS:
+            out.append(Instruction(op, rs1=9, rs2=10, imm=-3))
+        elif op in BRANCH_OPS:
+            out.append(Instruction(op, rs1=11, imm=5))
+        elif op in (Op.J, Op.JAL):
+            out.append(Instruction(op, imm=-100))
+        elif op in (Op.JR, Op.JALR):
+            out.append(Instruction(op, rs1=12))
+        else:
+            out.append(Instruction(op))
+    return out
+
+
+class TestEncoding:
+    @pytest.mark.parametrize(
+        "instr", representative_instructions(), ids=lambda i: i.op.value
+    )
+    def test_roundtrip(self, instr):
+        assert decode(encode(instr)) == instr
+
+    def test_word_is_32bit(self):
+        for instr in representative_instructions():
+            word = encode(instr)
+            assert 0 <= word < (1 << 32)
+
+    def test_unknown_opcode_rejected(self):
+        used = set(OPCODES.values())
+        free = next(c for c in range(64) if c not in used)
+        with pytest.raises(EncodingError):
+            decode(free << 26)
+        assert not is_valid_word(free << 26)
+
+    def test_unknown_rtype_func_rejected(self):
+        with pytest.raises(EncodingError):
+            decode(0x7FF)  # opcode 0, func 0x7FF unused
+
+    def test_immediate_range_checked(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.ADDI, rd=1, rs1=0, imm=1 << 20))
+
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.ADD, rd=32, rs1=0, rs2=0)
+
+    @given(
+        rd=st.integers(0, 31),
+        rs1=st.integers(0, 31),
+        rs2=st.integers(0, 31),
+    )
+    def test_rtype_roundtrip_property(self, rd, rs1, rs2):
+        instr = Instruction(Op.SUB, rd=rd, rs1=rs1, rs2=rs2)
+        assert decode(encode(instr)) == instr
+
+    @given(
+        rd=st.integers(0, 31),
+        rs1=st.integers(0, 31),
+        imm=st.integers(-(1 << 15), (1 << 15) - 1),
+    )
+    def test_itype_roundtrip_property(self, rd, rs1, imm):
+        instr = Instruction(Op.ADDI, rd=rd, rs1=rs1, imm=imm)
+        assert decode(encode(instr)) == instr
+
+    @given(imm=st.integers(-(1 << 25), (1 << 25) - 1))
+    def test_jtype_roundtrip_property(self, imm):
+        instr = Instruction(Op.J, imm=imm)
+        assert decode(encode(instr)) == instr
+
+
+class TestClassification:
+    def test_dest_of_rtype(self):
+        assert Instruction(Op.ADD, rd=5, rs1=1, rs2=2).dest == 5
+
+    def test_dest_of_link_jumps(self):
+        assert Instruction(Op.JAL, imm=1).dest == 31
+        assert Instruction(Op.JALR, rs1=2).dest == 31
+
+    def test_store_has_no_dest(self):
+        assert Instruction(Op.SW, rs1=1, rs2=2).dest == 0
+        assert not Instruction(Op.SW, rs1=1, rs2=2).writes_reg
+
+    def test_write_to_r0_is_not_a_write(self):
+        assert not Instruction(Op.ADD, rd=0, rs1=1, rs2=2).writes_reg
+
+    def test_sources(self):
+        assert Instruction(Op.ADD, rd=1, rs1=2, rs2=3).sources == (2, 3)
+        assert Instruction(Op.SW, rs1=4, rs2=5).sources == (4, 5)
+        assert Instruction(Op.LHI, rd=1, imm=2).sources == ()
+        assert Instruction(Op.BEQZ, rs1=6, imm=1).sources == (6,)
+        assert Instruction(Op.J, imm=1).sources == ()
+
+    def test_predicates(self):
+        assert Instruction(Op.LW, rd=1, rs1=2).is_load
+        assert Instruction(Op.SW, rs1=1, rs2=2).is_store
+        assert Instruction(Op.BEQZ, rs1=1).is_branch
+        assert Instruction(Op.J).is_jump and Instruction(Op.J).is_control
+
+    def test_format_of(self):
+        assert format_of(Op.ADD) is Format.R
+        assert format_of(Op.ADDI) is Format.I
+        assert format_of(Op.J) is Format.J
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        program = assemble(
+            """
+            ; a tiny loop
+                    addi  r1, r0, 3
+            loop:   beqz  r1, done
+                    subi  r1, r1, 1
+                    j     loop
+            done:   halt
+            """
+        )
+        assert program[0] == Instruction(Op.ADDI, rd=1, rs1=0, imm=3)
+        # beqz at address 1, 'done' at address 4: offset 4 - (1+1) = 2.
+        assert program[1] == Instruction(Op.BEQZ, rs1=1, imm=2)
+        assert program[3] == Instruction(Op.J, imm=-3)
+        assert program[4] == HALT
+
+    def test_memory_operands(self):
+        program = assemble("lw r2, 8(r1)\nsw r2, -4(r3)\nhalt")
+        assert program[0] == Instruction(Op.LW, rd=2, rs1=1, imm=8)
+        assert program[1] == Instruction(Op.SW, rs2=2, rs1=3, imm=-4)
+
+    def test_disassemble_roundtrip(self):
+        program = representative_instructions()
+        text = disassemble(program)
+        assert assemble(text) == program
+
+    def test_label_on_own_line(self):
+        program = assemble("start:\n  j start\nhalt")
+        assert program[0] == Instruction(Op.J, imm=-1)
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a: nop\na: nop")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate r1, r2")
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("addi r99, r0, 1")
+
+    def test_operand_count_checked(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2")
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("# only a comment\n\n; another\nnop\n")
+        assert program == [NOP]
+
+    def test_assembled_program_runs(self):
+        from repro.dlx.behavioral import BehavioralDLX
+
+        program = assemble(
+            """
+                addi r1, r0, 5
+                addi r2, r0, 7
+                add  r3, r1, r2
+                halt
+            """
+        )
+        sim = BehavioralDLX(program)
+        sim.run()
+        assert sim.regs[3] == 12

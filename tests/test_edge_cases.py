@@ -1,0 +1,187 @@
+"""Edge-case tests across modules: paths the main suites don't hit."""
+
+import random
+
+import pytest
+
+from repro.dlx.assembler import assemble
+from repro.dlx.behavioral import BehavioralDLX
+from repro.dlx.isa import Instruction, Op
+from repro.dlx.pipeline import PipelinedDLX
+from repro.dlx.programs import random_data, random_program
+
+
+class TestProgramGenerators:
+    def test_random_program_minimum_length(self):
+        with pytest.raises(ValueError):
+            random_program(random.Random(0), length=1)
+
+    def test_random_program_always_halts_with_halt(self):
+        rng = random.Random(1)
+        for _ in range(10):
+            program = random_program(rng, length=10)
+            assert program[-1].op == Op.HALT
+
+    def test_random_program_branches_forward_only(self):
+        rng = random.Random(2)
+        for _ in range(20):
+            program = random_program(rng, length=25)
+            for addr, instr in enumerate(program):
+                if instr.is_branch or instr.op == Op.J:
+                    target = addr + 1 + instr.imm
+                    assert addr < target < len(program) + 1
+
+    def test_random_data_window(self):
+        data = random_data(random.Random(3), memory_words=8)
+        assert set(data) == set(range(8))
+
+
+class TestPipelineUncommonOps:
+    @pytest.mark.parametrize(
+        "text,reg,value",
+        [
+            ("lhi r1, 5\nhalt", 1, 5 << 16),
+            ("addi r1, r0, 3\nsll r2, r1, r1\nhalt", 2, 3 << 3),
+            ("addi r1, r0, 16\naddi r3, r0, 2\nsrl r2, r1, r3\nhalt",
+             2, 4),
+            ("addi r1, r0, -5\nslt r2, r1, r0\nhalt", 2, 1),
+            ("addi r1, r0, 7\nseq r2, r1, r1\nhalt", 2, 1),
+            ("addi r1, r0, 7\nsgt r2, r1, r0\nhalt", 2, 1),
+            ("andi r2, r0, 15\nori r3, r2, 5\nhalt", 3, 5),
+            ("addi r1, r0, 12\nxori r2, r1, 10\nhalt", 2, 6),
+        ],
+    )
+    def test_op_equivalence_and_result(self, text, reg, value):
+        program = assemble(text)
+        spec = BehavioralDLX(program)
+        impl = PipelinedDLX(program)
+        assert spec.run() == impl.run()
+        assert impl.regs[reg] == value
+
+    def test_jalr_in_pipeline(self):
+        program = assemble(
+            """
+                addi r1, r0, 4
+                jalr r1
+                addi r2, r0, 1   ; squashed
+                addi r3, r0, 2   ; squashed
+                halt
+            """
+        )
+        spec = BehavioralDLX(program)
+        impl = PipelinedDLX(program)
+        assert spec.run() == impl.run()
+        assert impl.regs[2] == 0 and impl.regs[3] == 0
+        assert impl.regs[31] == 2
+
+    def test_back_to_back_taken_branches(self):
+        program = assemble(
+            """
+                beqz r0, a
+                nop
+            a:  beqz r0, b
+                nop
+            b:  beqz r0, c
+                nop
+            c:  halt
+            """
+        )
+        spec = BehavioralDLX(program)
+        impl = PipelinedDLX(program)
+        assert spec.run() == impl.run()
+
+    def test_store_to_load_forwarding_through_memory(self):
+        # SW at MEM in cycle t, LW of the same address at MEM in t+1:
+        # memory is written before the later read (program order).
+        program = assemble(
+            """
+                addi r1, r0, 77
+                sw   r1, 9(r0)
+                lw   r2, 9(r0)
+                halt
+            """
+        )
+        impl = PipelinedDLX(program)
+        impl.run()
+        assert impl.regs[2] == 77
+
+    def test_branch_condition_uses_forwarded_value(self):
+        # The branch's condition register is produced by the previous
+        # instruction: resolved via the EX/MEM bypass.
+        program = assemble(
+            """
+                addi r1, r0, 1
+                subi r1, r1, 1   ; r1 = 0, one slot before the branch
+                beqz r1, t
+                addi r2, r0, 9   ; must be squashed
+            t:  halt
+            """
+        )
+        spec = BehavioralDLX(program)
+        impl = PipelinedDLX(program)
+        assert spec.run() == impl.run()
+        assert impl.regs[2] == 0
+
+
+class TestMealyEdge:
+    def test_product_names(self, fig2_machine, adder):
+        p = fig2_machine.product(adder)
+        assert "x" in p.name
+
+    def test_equivalent_to_depth_limited(self, fig2_machine):
+        other = fig2_machine.copy()
+        assert fig2_machine.equivalent_to(other, max_depth=2) is None
+
+    def test_run_from_nondefault_start(self, fig2_machine):
+        outs, end = fig2_machine.run(["b"], start="s3")
+        assert outs == ["o1"] and end == "s4"
+
+
+class TestBDDEdge:
+    def test_sat_iter_scope_violation(self):
+        from repro.bdd import BDDManager
+        from repro.bdd.manager import BDDError
+
+        mgr = BDDManager()
+        mgr.add_vars(["a", "b"])
+        f = mgr.apply_and(mgr.var("a"), mgr.var("b"))
+        with pytest.raises(BDDError):
+            list(mgr.sat_iter(f, over=["a"]))
+
+    def test_evaluate_missing_assignment(self):
+        from repro.bdd import BDDManager
+        from repro.bdd.manager import BDDError
+
+        mgr = BDDManager()
+        mgr.add_var("a")
+        with pytest.raises(BDDError):
+            mgr.evaluate(mgr.var("a"), {})
+
+    def test_substitute_identity(self):
+        from repro.bdd import BDDManager
+
+        mgr = BDDManager()
+        mgr.add_vars(["a", "b"])
+        f = mgr.apply_xor(mgr.var("a"), mgr.var("b"))
+        assert mgr.substitute(f, {}) == f
+
+
+class TestTourEdge:
+    def test_single_state_machine_tour(self):
+        from repro.core.mealy import MealyMachine
+        from repro.tour import transition_tour
+
+        m = MealyMachine.from_transitions(
+            "s", [("s", 0, "a", "s"), ("s", 1, "b", "s")]
+        )
+        tour = transition_tour(m)
+        assert len(tour) == 2
+        assert tour.covers_transitions(m)
+
+    def test_state_tour_single_state(self):
+        from repro.core.mealy import MealyMachine
+        from repro.tour import state_tour
+
+        m = MealyMachine.from_transitions("s", [("s", 0, "a", "s")])
+        walk = state_tour(m)
+        assert len(walk) == 0  # already everywhere

@@ -1,0 +1,72 @@
+"""End-to-end integration: abstract tour -> concrete test -> campaign.
+
+A compressed version of the THM23 benchmark small enough for the unit
+suite: a branch/NOP instruction-class model whose tour-derived test
+must catch the squash bugs, and a load/branch model variant checked
+for correct-design equivalence.
+"""
+
+import pytest
+
+from repro.dlx.buggy import BUG_CATALOG
+from repro.dlx.isa import Op
+from repro.dlx.testmodel import build_tour_model, minimize_tour_model
+from repro.tour import transition_tour
+from repro.validation import (
+    campaign_from_concrete_test,
+    fill_inputs,
+    validate_concrete_test,
+)
+
+
+@pytest.fixture(scope="module")
+def branch_model():
+    return minimize_tour_model(
+        build_tour_model(opcodes=(Op.BEQZ, Op.NOP))
+    )
+
+
+@pytest.fixture(scope="module")
+def branch_test(branch_model):
+    tour = transition_tour(branch_model.machine, method="greedy")
+    assert tour.covers_transitions(branch_model.machine)
+    return fill_inputs(branch_model.concrete_vectors(tour.inputs))
+
+
+class TestBranchModelFlow:
+    def test_model_is_small_and_sound(self, branch_model):
+        machine = branch_model.machine
+        assert machine.is_strongly_connected()
+        assert 2 < len(machine) < 2000
+
+    def test_correct_design_passes(self, branch_test):
+        result = validate_concrete_test(branch_test)
+        assert result.passed, result
+
+    def test_squash_bugs_detected(self, branch_test):
+        squash_bugs = [
+            e for e in BUG_CATALOG if e.mechanism == "squash"
+        ]
+        campaign = campaign_from_concrete_test(
+            branch_test, catalog=squash_bugs, test_name="branch tour"
+        )
+        assert campaign.coverage == 1.0, campaign
+
+    def test_dataflow_bugs_escape_this_model(self, branch_test):
+        """The branch-only model cannot express load-use hazards, so
+        interlock bugs escape its tour -- selecting the instruction
+        classes IS selecting the bug classes you can find."""
+        interlock_bugs = [
+            e for e in BUG_CATALOG if e.mechanism == "interlock"
+        ]
+        campaign = campaign_from_concrete_test(
+            branch_test, catalog=interlock_bugs, test_name="branch tour"
+        )
+        assert campaign.coverage == 0.0
+
+    def test_oracle_consumed_in_order(self, branch_test):
+        # Every BEQZ in the program has exactly one oracle entry.
+        n_branches = sum(
+            1 for i in branch_test.program if i.op == Op.BEQZ
+        )
+        assert n_branches == len(branch_test.branch_oracle)

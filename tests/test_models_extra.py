@@ -1,0 +1,79 @@
+"""Additional behavioural checks on the canonical model zoo and the
+report/rendering helpers that only long-form strings exercise."""
+
+import pytest
+
+from repro.core.coverage import CoverageReport
+from repro.core.theorems import CompletenessCertificate
+from repro.faults.simulate import Detection
+from repro.models import counter, shift_register, vending_machine
+from repro.validation.report import (
+    BugCampaignResult,
+    BugCampaignRow,
+    ValidationResult,
+)
+
+
+class TestModelZooExtra:
+    def test_counter_width_parameter(self):
+        for bits in (1, 2, 4):
+            m = counter(bits)
+            assert len(m) == 1 << bits
+            assert m.num_transitions() == 2 * (1 << bits)
+
+    def test_shift_register_width_parameter(self):
+        for width in (1, 2, 4):
+            m = shift_register(width)
+            assert len(m) == 1 << width
+
+    def test_counter_down_wraps(self):
+        m = counter(2)
+        outs, final = m.run(["down"])
+        assert final == 3
+        assert outs[0] == (3, 1)  # borrow flagged
+
+    def test_vending_refund_amounts(self):
+        m = vending_machine()
+        outs, _f = m.run(["n", "r"])
+        assert outs[-1] == "refund=5"
+        outs, _f = m.run(["r"])
+        assert outs[-1] == "idle"
+
+
+class TestReportRendering:
+    def test_coverage_report_empty_total(self):
+        rep = CoverageReport("state", frozenset(), frozenset())
+        assert rep.fraction == 1.0
+        assert rep.complete
+
+    def test_validation_result_nan_cpi(self):
+        r = ValidationResult(
+            program_length=1, retired=0, cycles=0,
+            mismatch=None, max_latency=0,
+        )
+        assert r.passed
+        assert r.cpi != r.cpi  # NaN
+
+    def test_campaign_result_empty(self):
+        c = BugCampaignResult(test_name="empty", rows=())
+        assert c.coverage == 1.0
+        assert c.by_mechanism() == {}
+
+    def test_campaign_row_rendering(self):
+        row = BugCampaignRow(
+            bug_name="x", mechanism="bypass", detected=False, mismatch=None
+        )
+        c = BugCampaignResult(test_name="t", rows=(row,))
+        assert "ESCAPED" in str(c)
+        assert c.coverage == 0.0
+
+    def test_detection_bool(self):
+        assert not Detection(False, None, None, None)
+        assert Detection(True, 1, "a", "b")
+
+    def test_certificate_without_forall_report(self):
+        cert = CompletenessCertificate(
+            theorem="theorem1", complete=False, k=None,
+            requirement_results=(), forall_k=None,
+        )
+        assert "NOT certified" in cert.explain()

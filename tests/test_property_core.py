@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These encode the paper's structural claims as universally-quantified
+properties over randomly generated machines:
+
+* a transition tour detects every output fault (the easy half of
+  Theorem 1, no hypotheses needed);
+* on certified machines a padded tour detects every transfer fault
+  (Theorem 1 proper);
+* quotients are homomorphic images; minimization preserves behaviour;
+  the forall-k fixed point agrees with brute force.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.abstraction import is_homomorphic_image, quotient
+from repro.core.coverage import transition_coverage
+from repro.core.distinguish import (
+    analyze_forall_k,
+    forall_k_distinguishable,
+    forall_k_distinguishable_bruteforce,
+)
+from repro.core.errors import OutputError
+from repro.core.generate import (
+    random_certified_mealy,
+    random_mealy,
+    with_observable_state,
+)
+from repro.core.minimize import is_minimal, minimize
+from repro.core.requirements import RequirementResult
+from repro.core.theorems import theorem1_certificate
+from repro.faults.campaign import certified_tour_campaign, run_campaign
+from repro.faults.inject import all_output_faults, all_single_faults
+from repro.tour import transition_tour
+
+
+machines = st.builds(
+    lambda seed, n, i, o: random_mealy(
+        random.Random(seed), n_states=n, n_inputs=i, n_outputs=o
+    ),
+    seed=st.integers(0, 10**6),
+    n=st.integers(2, 6),
+    i=st.integers(1, 3),
+    o=st.integers(2, 4),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(machines)
+def test_generated_machines_are_wellformed(m):
+    assert m.is_complete()
+    assert m.is_strongly_connected()
+    assert m.reachable_states() == set(m.states)
+
+
+@settings(max_examples=30, deadline=None)
+@given(machines, st.sampled_from(["cpp", "greedy"]))
+def test_tour_covers_everything(m, method):
+    tour = transition_tour(m, method=method)
+    assert transition_coverage(m, tour.inputs).complete
+
+
+@settings(max_examples=30, deadline=None)
+@given(machines)
+def test_tours_catch_all_output_faults(m):
+    """Output errors on a deterministic machine are uniform, so any
+    transition tour detects all of them -- no side conditions."""
+    tour = transition_tour(m, method="cpp")
+    faults = list(all_output_faults(m))
+    result = run_campaign(m, tour.inputs, faults=faults)
+    assert result.coverage == 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10**6), st.integers(3, 6))
+def test_theorem1_on_certified_machines(seed, n_states):
+    """Theorem 1 end to end: certified machine => padded tour catches
+    every single fault, output AND transfer."""
+    rng = random.Random(seed)
+    try:
+        m, _k = random_certified_mealy(
+            rng, n_states=n_states, n_inputs=2, n_outputs=n_states + 2,
+            max_k=6,
+        )
+    except RuntimeError:
+        pytest.skip("no certified machine found for this seed")
+    cert = theorem1_certificate(
+        m, RequirementResult("R1", True, (), "direct model")
+    )
+    assert cert.complete
+    tour = transition_tour(m)
+    result = certified_tour_campaign(m, tour.inputs, cert)
+    assert result.coverage == 1.0, result
+
+
+@settings(max_examples=25, deadline=None)
+@given(machines)
+def test_observable_state_certifies(m):
+    rich = with_observable_state(m)
+    report = analyze_forall_k(rich)
+    assert report.holds and report.k == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(machines, st.integers(1, 3))
+def test_forall_k_matches_bruteforce(m, k):
+    states = sorted(m.states, key=repr)
+    for idx, a in enumerate(states):
+        for b in states[idx + 1:]:
+            assert forall_k_distinguishable(
+                m, a, b, k
+            ) == forall_k_distinguishable_bruteforce(m, a, b, k)
+
+
+@settings(max_examples=25, deadline=None)
+@given(machines)
+def test_minimize_preserves_behaviour(m):
+    mini = minimize(m)
+    assert is_minimal(mini)
+    assert len(mini) <= len(m)
+    renamed = mini.rename_states(lambda block: ("cls", block))
+    assert renamed.equivalent_to(m) is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(machines, st.integers(2, 4))
+def test_quotient_is_homomorphic(m, buckets):
+    states = sorted(m.states, key=repr)
+    bucket_of = {s: idx % buckets for idx, s in enumerate(states)}
+    mapping = lambda s: bucket_of[s]  # noqa: E731
+    q = quotient(m, mapping)
+    assert is_homomorphic_image(m, q, mapping)
+    # Move count never exceeds the concrete transition count.
+    assert q.num_moves() <= m.num_transitions()
+
+
+@settings(max_examples=25, deadline=None)
+@given(machines)
+def test_fault_population_has_no_duplicates(m):
+    faults = all_single_faults(m)
+    assert len(faults) == len(set(faults))
+
+
+@settings(max_examples=20, deadline=None)
+@given(machines, st.integers(0, 10**6))
+def test_output_fault_detection_is_sound(m, seed):
+    """If the campaign says 'detected', replaying the inputs really
+    shows an output difference at the reported step."""
+    from repro.faults.simulate import detect_fault
+
+    rng = random.Random(seed)
+    # Machines that happen to use a single output value admit no
+    # output fault (the alphabet is drawn from used outputs).
+    faults = list(all_output_faults(m))
+    if not faults:
+        return
+    fault = rng.choice(faults)
+    tour = transition_tour(m, method="greedy")
+    detection = detect_fault(m, fault, tour.inputs)
+    assert detection.detected
+    mutant = fault.apply(m)
+    prefix = tour.inputs[: detection.step]
+    assert m.output_sequence(prefix) != mutant.output_sequence(prefix)

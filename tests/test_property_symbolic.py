@@ -1,0 +1,99 @@
+"""Property tests tying the three state-space engines together.
+
+On random netlists the following must agree exactly:
+
+* the interpreting simulator's explicit BFS (extract_mealy);
+* the compiled simulator's count (reachable_state_count);
+* monolithic symbolic reachability;
+* partitioned symbolic reachability.
+
+Disagreement in any pair means a bug in expression compilation, the
+relation encoding, image computation, or the extraction -- this is the
+suite's deepest cross-check.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import from_netlist, reachable_states
+from repro.rtl import extract_mealy, reachable_state_count
+from tests.test_rtl_compile import random_netlist
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_four_engines_agree_on_state_counts(seed):
+    rng = random.Random(seed)
+    net = random_netlist(rng, n_inputs=2, n_regs=4, depth=2)
+    explicit = reachable_state_count(net)
+    machine = extract_mealy(net)
+    assert len(machine.reachable_states()) == explicit
+
+    mono = reachable_states(from_netlist(net, partitioned=False))
+    part = reachable_states(from_netlist(net, partitioned=True))
+    assert mono.num_states == explicit
+    assert part.num_states == explicit
+    assert mono.iterations == part.iterations
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_transition_counts_agree(seed):
+    rng = random.Random(seed)
+    net = random_netlist(rng, n_inputs=2, n_regs=3, depth=2)
+    machine = extract_mealy(net)
+    fsm = from_netlist(net, partitioned=True)
+    result = reachable_states(fsm)
+    assert fsm.count_transitions(result.reachable) == machine.num_transitions()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_monolithic_and_partitioned_images_equal(seed):
+    rng = random.Random(seed)
+    net = random_netlist(rng, n_inputs=2, n_regs=4, depth=2)
+    mono = from_netlist(net, partitioned=False)
+    part = from_netlist(net, partitioned=True)
+    # Same manager construction order -> node ids comparable only
+    # within one manager; compare by stepping each to a fixpoint and
+    # SAT-counting the frontier sequence.
+    s_mono, s_part = mono.init, part.init
+    for _step in range(4):
+        s_mono = mono.manager.apply_or(s_mono, mono.image(s_mono))
+        s_part = part.manager.apply_or(s_part, part.image(s_part))
+        assert mono.count_states(s_mono) == part.count_states(s_part)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_preimage_of_image_contains_origin(seed):
+    rng = random.Random(seed)
+    net = random_netlist(rng, n_inputs=2, n_regs=3, depth=2)
+    fsm = from_netlist(net, partitioned=True)
+    image = fsm.image(fsm.init)
+    if image == 0:
+        return
+    pre = fsm.preimage(image)
+    # init has a successor in image, so init is in preimage(image).
+    assert fsm.manager.implies(fsm.init, pre)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_symbolic_outputs_match_simulation(seed):
+    rng = random.Random(seed)
+    net = random_netlist(rng, n_inputs=2, n_regs=3, depth=2)
+    fsm = from_netlist(net, partitioned=True)
+    state = net.reset_state()
+    for _cycle in range(10):
+        vec = {name: rng.random() < 0.5 for name in net.inputs}
+        _next, outs = net.step(state, vec)
+        env = {}
+        env.update({f"x.{n}": bool(v) for n, v in state.items()})
+        env.update({f"i.{n}": bool(v) for n, v in vec.items()})
+        for name, bdd in fsm.outputs.items():
+            assert fsm.manager.evaluate(bdd, env) == outs[name], name
+        state, _outs = net.step(state, vec)

@@ -1,0 +1,78 @@
+"""Property tests for abstract-to-concrete test conversion.
+
+The conversion's correctness argument (see repro.validation.testgen)
+claims that ANY abstract input sequence over the tour alphabet
+realizes into a concrete program on which the specification and the
+correct pipelined implementation agree checkpoint-for-checkpoint --
+taken branches, squash windows, stalls, idle slots and all.  Here
+hypothesis generates arbitrary sequences and the claim is checked
+directly.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dlx.isa import Op
+from repro.dlx.testmodel import TOUR_OPCODES, tour_model_inputs
+from repro.validation import fill_inputs, validate_concrete_test
+
+
+VECTORS = tour_model_inputs()  # the full 28-vector alphabet
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10**9),
+    length=st.integers(1, 60),
+)
+def test_any_abstract_sequence_realizes_correctly(seed, length):
+    rng = random.Random(seed)
+    sequence = [rng.choice(VECTORS) for _ in range(length)]
+    test = fill_inputs(sequence)
+    assert len(test.program) == length + 3  # +2 drain NOPs +HALT
+    result = validate_concrete_test(test)
+    assert result.passed, (seed, length, result)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**9))
+def test_branch_heavy_sequences_align(seed):
+    """Worst case for the alignment argument: long runs of taken
+    branches whose squash windows contain more branches."""
+    rng = random.Random(seed)
+    beqz_taken = next(
+        v for v in VECTORS
+        if v["in_op[2]"] and not v["in_op[0]"] and v["data_zero"]
+        and v["fetch_en"]
+    )
+    beqz_not = next(
+        v for v in VECTORS
+        if v["in_op[2]"] and not v["in_op[0]"] and not v["data_zero"]
+        and v["fetch_en"]
+    )
+    jump = next(
+        v for v in VECTORS
+        if v["in_op[1]"] and not v["in_op[0]"] and not v["in_op[2]"]
+        and v["fetch_en"]
+    )
+    sequence = [
+        rng.choice([beqz_taken, beqz_not, jump]) for _ in range(40)
+    ]
+    test = fill_inputs(sequence)
+    result = validate_concrete_test(test)
+    assert result.passed, result
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**9))
+def test_oracle_length_matches_branch_count(seed):
+    rng = random.Random(seed)
+    sequence = [rng.choice(VECTORS) for _ in range(50)]
+    test = fill_inputs(sequence)
+    branches = sum(
+        1 for instr in test.program if instr.op in (Op.BEQZ, Op.BNEZ)
+    )
+    assert len(test.branch_oracle) == branches

@@ -1,0 +1,241 @@
+"""Property-based tests for the tour algorithms and the BDD engine."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.manager import FALSE, TRUE, BDDManager
+from repro.core.generate import random_mealy
+from repro.core.mealy import MealyMachine
+from repro.tour.eulerian import eulerian_circuit, is_balanced, verify_circuit
+from repro.tour.mincostflow import MinCostFlow
+from repro.tour.postman import (
+    chinese_postman_transitions,
+    minimum_duplications,
+    optimal_tour_length,
+)
+
+
+machines = st.builds(
+    lambda seed, n, i: random_mealy(
+        random.Random(seed), n_states=n, n_inputs=i, n_outputs=3
+    ),
+    seed=st.integers(0, 10**6),
+    n=st.integers(2, 7),
+    i=st.integers(1, 3),
+)
+
+
+class TestPostmanProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(machines)
+    def test_cpp_length_is_minimal_prediction(self, m):
+        trans = chinese_postman_transitions(m)
+        assert len(trans) == optimal_tour_length(m)
+
+    @settings(max_examples=40, deadline=None)
+    @given(machines)
+    def test_cpp_is_closed_walk_covering_all(self, m):
+        trans = chinese_postman_transitions(m)
+        # Closed at the initial state.
+        assert trans[0].src == m.initial and trans[-1].dst == m.initial
+        # Chained.
+        assert all(
+            trans[j].dst == trans[j + 1].src for j in range(len(trans) - 1)
+        )
+        # Covers every transition.
+        assert set(trans) == set(m.transitions)
+
+    @settings(max_examples=40, deadline=None)
+    @given(machines)
+    def test_duplications_repair_balance(self, m):
+        copies, total = minimum_duplications(m)
+        assert total == sum(copies.values())
+        edges = []
+        for t in m.transitions:
+            edges.append((t.src, t.dst, (t, 0)))
+            for j in range(copies.get(t, 0)):
+                edges.append((t.src, t.dst, (t, j + 1)))
+        assert is_balanced(edges)
+
+    @settings(max_examples=20, deadline=None)
+    @given(machines)
+    def test_cpp_beats_or_ties_greedy(self, m):
+        from repro.tour.greedy import greedy_transition_transitions
+
+        assert optimal_tour_length(m) <= len(
+            greedy_transition_transitions(m)
+        )
+
+
+class TestEulerianProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(2, 6), st.integers(1, 3))
+    def test_random_balanced_multigraph_has_circuit(self, seed, n, k):
+        """Random Eulerian multigraphs: superimpose k random cycles
+        over n nodes (always balanced and connected through node 0)."""
+        rng = random.Random(seed)
+        nodes = list(range(n))
+        edges = []
+        tag = 0
+        for _cycle in range(k):
+            perm = nodes[:]
+            rng.shuffle(perm)
+            # Rotate so every cycle passes through node 0 (connectivity).
+            zero_at = perm.index(0)
+            perm = perm[zero_at:] + perm[:zero_at]
+            for a, b in zip(perm, perm[1:] + perm[:1]):
+                edges.append((a, b, tag))
+                tag += 1
+        circuit = eulerian_circuit(edges, 0)
+        assert verify_circuit(edges, circuit, 0)
+
+
+class TestFlowProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(0, 10**6),
+        st.integers(2, 5),
+        st.integers(1, 4),
+    )
+    def test_flow_conservation_and_feasibility(self, seed, n, supply):
+        """Random complete digraphs with one source/sink pair: the
+        solver must route exactly the supply and respect capacities."""
+        rng = random.Random(seed)
+        net = MinCostFlow()
+        caps = {}
+        for a in range(n):
+            for b in range(n):
+                if a != b:
+                    cap = rng.randint(1, 6)
+                    cost = rng.randint(1, 5)
+                    caps[(a, b)] = cap
+                    net.add_arc(a, b, capacity=cap, cost=cost, tag=(a, b))
+        # A feasibility certificate: the direct arc plus one two-hop
+        # path through each intermediate node can carry this much.
+        sink = n - 1
+        feasible = caps[(0, sink)] + sum(
+            min(caps[(0, v)], caps[(v, sink)]) for v in range(1, sink)
+        )
+        amount = min(supply, feasible)
+        flows = net.solve({0: amount, sink: -amount})
+        for (a, b), units in flows.items():
+            assert 0 < units <= caps[(a, b)]
+        # Conservation at intermediate nodes.
+        for v in range(1, n - 1):
+            inflow = sum(u for (a, b), u in flows.items() if b == v)
+            outflow = sum(u for (a, b), u in flows.items() if a == v)
+            assert inflow == outflow
+        sent = sum(u for (a, b), u in flows.items() if a == 0) - sum(
+            u for (a, b), u in flows.items() if b == 0
+        )
+        assert sent == amount
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_flow_optimality_on_two_path_instances(self, seed):
+        """Two parallel paths with known costs: the solver must pick
+        the cheaper first and spill to the dearer one only when
+        capacity binds."""
+        rng = random.Random(seed)
+        cheap_cap = rng.randint(1, 3)
+        cheap_cost = rng.randint(1, 3)
+        dear_cost = cheap_cost + rng.randint(1, 3)
+        demand = rng.randint(1, 6)
+        net = MinCostFlow()
+        net.add_arc("s", "t", capacity=cheap_cap, cost=cheap_cost, tag="cheap")
+        net.add_arc("s", "t", capacity=10, cost=dear_cost, tag="dear")
+        flows = net.solve({"s": demand, "t": -demand})
+        want_cheap = min(demand, cheap_cap)
+        assert flows.get("cheap", 0) == want_cheap
+        assert flows.get("dear", 0) == demand - want_cheap
+
+
+class TestBDDProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(2, 5))
+    def test_random_dnf_semantics(self, seed, nvars):
+        rng = random.Random(seed)
+        names = [f"v{i}" for i in range(nvars)]
+        mgr = BDDManager()
+        mgr.add_vars(names)
+        terms = []
+        py_terms = []
+        for _t in range(rng.randint(1, 4)):
+            width = rng.randint(1, nvars)
+            chosen = rng.sample(names, width)
+            lits = []
+            py = []
+            for nm in chosen:
+                pos = rng.random() < 0.5
+                lits.append(mgr.var(nm) if pos else mgr.nvar(nm))
+                py.append((nm, pos))
+            terms.append(mgr.apply_and(*lits))
+            py_terms.append(py)
+        f = mgr.apply_or(*terms)
+
+        def oracle(env):
+            return any(
+                all(env[nm] == pos for nm, pos in term) for term in py_terms
+            )
+
+        count = 0
+        for bits in itertools.product((False, True), repeat=nvars):
+            env = dict(zip(names, bits))
+            want = oracle(env)
+            assert mgr.evaluate(f, env) == want
+            count += want
+        assert mgr.sat_count(f, over=names) == count
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(2, 5))
+    def test_quantifier_laws(self, seed, nvars):
+        rng = random.Random(seed)
+        names = [f"v{i}" for i in range(nvars)]
+        mgr = BDDManager()
+        mgr.add_vars(names)
+        f = _random_bdd(rng, mgr, names)
+        target = rng.choice(names)
+        lo = mgr.restrict(f, target, False)
+        hi = mgr.restrict(f, target, True)
+        assert mgr.exists(f, [target]) == mgr.apply_or(lo, hi)
+        assert mgr.forall(f, [target]) == mgr.apply_and(lo, hi)
+        # Shannon expansion reconstructs f.
+        v = mgr.var(target)
+        assert mgr.ite(v, hi, lo) == f
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(2, 4))
+    def test_and_exists_is_fused_relational_product(self, seed, nvars):
+        rng = random.Random(seed)
+        names = [f"v{i}" for i in range(nvars)]
+        mgr = BDDManager()
+        mgr.add_vars(names)
+        f = _random_bdd(rng, mgr, names)
+        g = _random_bdd(rng, mgr, names)
+        scope = rng.sample(names, rng.randint(0, nvars))
+        assert mgr.and_exists(f, g, scope) == mgr.exists(
+            mgr.apply_and(f, g), scope
+        )
+
+
+def _random_bdd(rng, mgr, names):
+    """A random function built from literals and connectives."""
+    f = TRUE if rng.random() < 0.5 else FALSE
+    for _step in range(rng.randint(1, 6)):
+        lit = (
+            mgr.var(rng.choice(names))
+            if rng.random() < 0.5
+            else mgr.nvar(rng.choice(names))
+        )
+        op = rng.randrange(3)
+        if op == 0:
+            f = mgr.apply_and(f, lit)
+        elif op == 1:
+            f = mgr.apply_or(f, lit)
+        else:
+            f = mgr.apply_xor(f, lit)
+    return f

@@ -1,0 +1,154 @@
+"""Unit tests for symbolic FSM encoding and implicit reachability."""
+
+import pytest
+
+from repro.bdd import (
+    BDDManager,
+    from_netlist,
+    reachable_states,
+    traversal_statistics,
+)
+from repro.bdd.boolexpr import CompileError, compile_expr
+from repro.rtl import (
+    Netlist,
+    and_,
+    mux,
+    not_,
+    or_,
+    reachable_state_count,
+    var,
+    xor_,
+)
+from tests.test_rtl_netlist import counter_netlist, toggle_netlist
+
+
+class TestCompileExpr:
+    def test_compile_matches_eval(self):
+        from repro.rtl.expr import evaluate
+        import itertools
+
+        e = mux(var("s"), and_(var("a"), var("b")), xor_(var("a"), var("b")))
+        mgr = BDDManager()
+        mgr.add_vars(["s", "a", "b"])
+        f = compile_expr(e, mgr)
+        for bits in itertools.product((False, True), repeat=3):
+            env = dict(zip(["s", "a", "b"], bits))
+            assert mgr.evaluate(f, env) == evaluate(e, env)
+
+    def test_compile_with_var_map(self):
+        mgr = BDDManager()
+        mgr.add_vars(["x.q"])
+        f = compile_expr(var("q"), mgr, {"q": "x.q"})
+        assert f == mgr.var("x.q")
+
+    def test_unregistered_var_raises(self):
+        mgr = BDDManager()
+        from repro.bdd.manager import BDDError
+
+        with pytest.raises(BDDError):
+            compile_expr(var("q"), mgr)
+
+
+class TestSymbolicEncoding:
+    def test_counter_reachability_matches_explicit(self):
+        for bits in (2, 3, 4):
+            n = counter_netlist(bits)
+            fsm = from_netlist(n)
+            result = reachable_states(fsm)
+            assert result.num_states == reachable_state_count(n)
+            assert result.state_space == 1 << bits
+
+    def test_constrained_inputs_shrink_reachability(self):
+        n = counter_netlist(3)
+        fsm = from_netlist(n, valid=not_(var("en")))
+        result = reachable_states(fsm)
+        assert result.num_states == 1
+
+    def test_valid_input_count(self):
+        n = Netlist("pair")
+        n.add_input("a")
+        n.add_input("b")
+        n.add_register("q", next=var("a"))
+        n.add_output("o", var("q"))
+        fsm = from_netlist(n, valid=not_(and_(var("a"), var("b"))))
+        assert fsm.count_valid_inputs() == 3
+
+    def test_transition_count_complete_machine(self):
+        n = counter_netlist(2)
+        fsm = from_netlist(n)
+        result = reachable_states(fsm)
+        # 4 states x 2 inputs.
+        assert fsm.count_transitions(result.reachable) == 8
+
+    def test_edge_count_collapses_inputs(self):
+        n = toggle_netlist()
+        fsm = from_netlist(n)
+        result = reachable_states(fsm)
+        # Each of the 2 states reaches both states (t=0 stays, t=1
+        # toggles): 4 state pairs.
+        assert fsm.count_edges(result.reachable) == 4
+
+    def test_image_step(self):
+        n = toggle_netlist()
+        fsm = from_netlist(n)
+        image = fsm.image(fsm.init)
+        # From q=0 both q'=0 (t=0) and q'=1 (t=1) are reachable.
+        assert fsm.count_states(image) == 2
+
+    def test_preimage(self):
+        n = toggle_netlist()
+        fsm = from_netlist(n)
+        pre = fsm.preimage(fsm.init)
+        assert fsm.count_states(pre) == 2
+
+    def test_relation_size_positive(self):
+        fsm = from_netlist(counter_netlist(3))
+        assert fsm.relation_size() > 0
+
+    def test_frontier_profile(self):
+        n = counter_netlist(3)
+        fsm = from_netlist(n)
+        result = reachable_states(fsm)
+        assert sum(result.frontier_sizes) == result.num_states
+        assert result.iterations >= 8  # counter diameter
+
+    def test_max_iterations_caps(self):
+        n = counter_netlist(3)
+        fsm = from_netlist(n)
+        result = reachable_states(fsm, max_iterations=2)
+        assert result.num_states < 8
+
+    def test_str_report(self):
+        result = reachable_states(from_netlist(counter_netlist(2)))
+        assert "reachable 4 / 4" in str(result)
+
+
+class TestTraversalStatistics:
+    def test_stats_block(self):
+        stats = traversal_statistics(from_netlist(counter_netlist(3)))
+        assert stats["latches"] == 3
+        assert stats["state_space"] == 8
+        assert stats["reachable_states"] == 8
+        assert stats["valid_inputs"] == 2
+        assert stats["input_space"] == 2
+        assert stats["transitions"] == 16
+        assert stats["seconds"] >= 0
+
+    def test_density_much_less_than_one_with_dont_cares(self):
+        """The Section 7.2 shape: don't-cares leave most of the raw
+        state space unreachable."""
+        n = Netlist("sparse")
+        n.add_input("go")
+        # 4-bit one-hot ring: only 4 of 16 states reachable.
+        n.add_register("h0", init=True)
+        n.add_register("h1")
+        n.add_register("h2")
+        n.add_register("h3")
+        n.set_next("h0", mux(var("go"), var("h3"), var("h0")))
+        n.set_next("h1", mux(var("go"), var("h0"), var("h1")))
+        n.set_next("h2", mux(var("go"), var("h1"), var("h2")))
+        n.set_next("h3", mux(var("go"), var("h2"), var("h3")))
+        n.add_output("o", var("h0"))
+        stats = traversal_statistics(from_netlist(n))
+        assert stats["reachable_states"] == 4
+        assert stats["state_space"] == 16

@@ -1,0 +1,153 @@
+"""Unit tests for repro.core.theorems: the completeness certificates.
+
+The key end-to-end claims:
+
+* Theorem 1 positive: a certified model + any padded transition tour
+  detects EVERY single output and transfer fault.
+* Theorem 1 negative: the Figure 2 model is not certifiable, and a
+  tour indeed exists that misses its transfer error.
+"""
+
+import pytest
+
+from repro.core.abstraction import observe_state_component, project_vars
+from repro.core.generate import with_observable_state
+from repro.core.requirements import (
+    RequirementResult,
+    check_unique_outputs,
+    check_uniform_output_errors,
+)
+from repro.core.theorems import (
+    theorem1_certificate,
+    theorem1_certificate_from_abstraction,
+    theorem3_certificate,
+)
+from repro.faults.campaign import certified_tour_campaign, run_campaign
+from repro.tour import transition_tour
+from tests.test_abstraction import control_data_machine
+
+
+def passing_r1(detail="assumed"):
+    return RequirementResult("R1", True, (), detail)
+
+
+class TestTheorem1:
+    def test_fig2_not_certified(self, fig2_machine):
+        cert = theorem1_certificate(fig2_machine, passing_r1())
+        assert not cert.complete
+        assert cert.k is None
+        assert not cert.forall_k.holds
+
+    def test_observable_fig2_certified(self, fig2_machine):
+        rich = observe_state_component(fig2_machine, lambda s: s)
+        cert = theorem1_certificate(rich, passing_r1())
+        assert cert.complete
+        assert cert.k == 1
+
+    def test_failed_r1_blocks_certificate(self, counter3):
+        bad_r1 = RequirementResult("R1", False, (("x", "y"),), "leaky")
+        cert = theorem1_certificate(counter3, bad_r1)
+        assert not cert.complete
+        assert cert.k is None
+
+    def test_certificate_from_abstraction(self):
+        m = control_data_machine()
+        rich = with_observable_state(m)
+        det = (
+            __import__("repro.core.abstraction", fromlist=["quotient"])
+            .quotient(rich, lambda s: s)
+            .determinize_outputs()
+        )
+        cert = theorem1_certificate_from_abstraction(
+            rich, lambda s: s, det
+        )
+        assert cert.complete
+
+    def test_explain_mentions_verdict(self, fig2_machine):
+        cert = theorem1_certificate(fig2_machine, passing_r1())
+        text = cert.explain()
+        assert "NOT certified" in text
+        assert "residual pairs" in text
+
+    def test_explain_complete(self, counter3):
+        cert = theorem1_certificate(counter3, passing_r1())
+        assert "COMPLETE" in cert.explain()
+        assert "k = 1" in cert.explain()
+
+
+class TestTheorem1Empirically:
+    """The theorem's *claim*, validated by exhaustive fault injection."""
+
+    def test_certified_tour_catches_everything(self, fig2_machine):
+        rich = observe_state_component(fig2_machine, lambda s: s)
+        cert = theorem1_certificate(rich, passing_r1())
+        assert cert.complete
+        tour = transition_tour(rich)
+        result = certified_tour_campaign(rich, tour.inputs, cert)
+        assert result.coverage == 1.0
+
+    def test_certified_tour_on_shift_register(self, shiftreg3):
+        cert = theorem1_certificate(shiftreg3, passing_r1())
+        assert cert.complete and cert.k == 3
+        tour = transition_tour(shiftreg3)
+        result = certified_tour_campaign(shiftreg3, tour.inputs, cert)
+        assert result.coverage == 1.0
+
+    def test_uncertified_fig2_has_escapes(self, fig2):
+        machine, fault = fig2
+        tour = transition_tour(machine)
+        result = run_campaign(machine, tour.inputs)
+        # Output errors are always caught by a tour (they are uniform
+        # on a deterministic machine)...
+        assert result.by_class()["output"]["coverage"] == 1.0
+        # ...but some transfer errors escape, as Figure 2 predicts.
+        assert result.by_class()["transfer"]["coverage"] < 1.0
+
+    def test_the_specific_fig2_fault_escapes_some_tour(self, fig2):
+        machine, fault = fig2
+        from repro.faults.simulate import detect_fault
+
+        tour = transition_tour(machine, method="cpp")
+        tours = [tour, transition_tour(machine, method="greedy")]
+        detections = [
+            detect_fault(machine, fault, t.inputs).detected for t in tours
+        ]
+        # At least one standard tour must miss it (the paper's point);
+        # if both caught it the example would be vacuous.
+        assert not all(detections)
+
+
+class TestTheorem3:
+    def test_theorem3_gathers_r3_automatically(self, counter3):
+        cert = theorem3_certificate(counter3, [passing_r1()])
+        assert any(
+            r.requirement == "R3" for r in cert.requirement_results
+        )
+        assert cert.complete  # counter: injective outputs, forall-1
+
+    def test_theorem3_fails_on_r3_violation(self, fig2_machine):
+        rich = observe_state_component(fig2_machine, lambda s: s)
+        cert = theorem3_certificate(rich, [passing_r1()])
+        # forall-k holds but R3 fails (o0 repeated) => not complete.
+        assert not cert.complete
+        assert not check_unique_outputs(rich).passed
+
+    def test_theorem3_respects_caller_results(self, counter3):
+        given = [
+            passing_r1(),
+            RequirementResult("R2", True, (), "bounded"),
+            RequirementResult("R3", True, (), "caller-checked"),
+            RequirementResult("R4", True, (), "single-fault"),
+            RequirementResult("R5", True, (), "observed"),
+        ]
+        cert = theorem3_certificate(counter3, given)
+        assert len(cert.requirement_results) == 5
+        assert cert.complete
+
+    def test_theorem3_any_failure_blocks(self, counter3):
+        given = [
+            passing_r1(),
+            RequirementResult("R5", False, (("a", "b"),), "hidden"),
+        ]
+        cert = theorem3_certificate(counter3, given)
+        assert not cert.complete

@@ -1,0 +1,190 @@
+"""Tests for the advanced transforms: sequential constant folding,
+duplicate merging, and functionally-redundant register replacement."""
+
+import pytest
+
+from repro.rtl import (
+    FALSE,
+    Netlist,
+    TransformError,
+    Var,
+    and_,
+    constant_inputs,
+    fold_constant_registers,
+    merge_duplicate_registers,
+    mux,
+    not_,
+    or_,
+    replace_registers,
+    var,
+    xor_,
+)
+
+
+class TestFoldConstantRegisters:
+    def test_literal_constant_register(self):
+        net = Netlist("lit")
+        net.add_input("i")
+        net.add_register("z", init=False, next=FALSE)
+        net.add_register("q", next=or_(var("i"), var("z")))
+        net.add_output("o", var("q"))
+        folded = fold_constant_registers(net)
+        assert "z" not in folded.register_names
+        # q's next folded to just i.
+        assert folded.registers["q"].next == var("i")
+
+    def test_self_holding_constant(self):
+        """next(q) = mux(hold, q, 0), init 0: constant by induction --
+        the structure that arises from tied address-field inputs."""
+        net = Netlist("hold")
+        net.add_input("hold")
+        net.add_register("q", init=False)
+        net.set_next("q", mux(var("hold"), var("q"), FALSE))
+        net.add_output("o", var("q"))
+        folded = fold_constant_registers(net)
+        assert "q" not in folded.register_names
+
+    def test_chain_folds_transitively(self):
+        net = Netlist("chain")
+        net.add_input("i")
+        net.add_register("a", init=False, next=FALSE)
+        net.add_register("b", init=False, next=var("a"))
+        net.add_register("c", init=False, next=var("b"))
+        net.add_register("live", next=var("i"))
+        net.add_output("o", or_(var("c"), var("live")))
+        folded = fold_constant_registers(net)
+        assert set(folded.register_names) == {"live"}
+
+    def test_wrong_init_not_folded(self):
+        # next is constant 0 but init is 1: changes once, keep it.
+        net = Netlist("once")
+        net.add_input("i")
+        net.add_register("q", init=True, next=FALSE)
+        net.add_output("o", and_(var("q"), var("i")))
+        folded = fold_constant_registers(net)
+        assert "q" in folded.register_names
+
+    def test_toggling_register_not_folded(self):
+        net = Netlist("tgl")
+        net.add_register("q", next=not_(var("q")))
+        net.add_output("o", var("q"))
+        folded = fold_constant_registers(net)
+        assert "q" in folded.register_names
+
+    def test_behaviour_preserved(self):
+        import random
+
+        net = Netlist("mix")
+        net.add_input("i")
+        net.add_register("dead", init=True, next=mux(var("i"), Var("dead"), Var("dead")))
+        net.add_register("live", next=xor_(var("live"), var("i")))
+        net.add_output("o", xor_(var("dead"), var("live")))
+        folded = fold_constant_registers(net)
+        assert "dead" not in folded.register_names
+        rng = random.Random(0)
+        s1, s2 = net.reset_state(), folded.reset_state()
+        for _ in range(30):
+            vec = {"i": rng.random() < 0.5}
+            s1, o1 = net.step(s1, vec)
+            s2, o2 = folded.step(s2, vec)
+            assert o1 == o2
+
+
+class TestMergeDuplicates:
+    def test_identical_registers_merge(self):
+        net = Netlist("dup")
+        net.add_input("i")
+        net.add_register("a", next=var("i"))
+        net.add_register("b", next=var("i"))
+        net.add_output("o", and_(var("a"), var("b")))
+        merged = merge_duplicate_registers(net)
+        assert merged.latch_count() == 1
+        # Output behaviour: o == a == b == delayed i.
+        _s, out = merged.step(merged.reset_state(), {"i": True})
+        assert out["o"] is False  # still reset value
+        s, _o = merged.step(merged.reset_state(), {"i": True})
+        _s, out = merged.step(s, {"i": False})
+        assert out["o"] is True
+
+    def test_merge_cascades(self):
+        """Merging one pair can make the next stage's registers
+        identical too."""
+        net = Netlist("cascade")
+        net.add_input("i")
+        net.add_register("a1", next=var("i"))
+        net.add_register("a2", next=var("i"))
+        net.add_register("b1", next=var("a1"))
+        net.add_register("b2", next=var("a2"))
+        net.add_output("o", or_(var("b1"), var("b2")))
+        merged = merge_duplicate_registers(net)
+        assert merged.latch_count() == 2
+
+    def test_different_init_not_merged(self):
+        net = Netlist("init")
+        net.add_input("i")
+        net.add_register("a", init=False, next=var("i"))
+        net.add_register("b", init=True, next=var("i"))
+        net.add_output("o", and_(var("a"), var("b")))
+        merged = merge_duplicate_registers(net)
+        assert merged.latch_count() == 2
+
+    def test_keeps_name_order_representative(self):
+        net = Netlist("rep")
+        net.add_input("i")
+        net.add_register("zz", next=var("i"))
+        net.add_register("aa", next=var("i"))
+        net.add_output("o", var("zz"))
+        merged = merge_duplicate_registers(net)
+        assert "aa" in merged.register_names
+        assert "zz" not in merged.register_names
+
+
+class TestReplaceRegisters:
+    def test_redundant_mirror_removed(self):
+        """A register provably equal to another is replaced and the
+        behaviour is unchanged."""
+        net = Netlist("mirror")
+        net.add_input("i")
+        net.add_register("real", next=var("i"))
+        net.add_register("copy", next=var("i"))
+        net.add_output("o", xor_(var("copy"), var("i")))
+        replaced = replace_registers(net, {"copy": Var("real")})
+        assert "copy" not in replaced.register_names
+        import random
+
+        rng = random.Random(4)
+        s1, s2 = net.reset_state(), replaced.reset_state()
+        for _ in range(20):
+            vec = {"i": rng.random() < 0.5}
+            s1, o1 = net.step(s1, vec)
+            s2, o2 = replaced.step(s2, vec)
+            assert o1 == o2
+
+    def test_replacement_over_removed_register_rejected(self):
+        net = Netlist("bad")
+        net.add_input("i")
+        net.add_register("a", next=var("i"))
+        net.add_register("b", next=var("i"))
+        net.add_output("o", var("a"))
+        with pytest.raises(TransformError):
+            replace_registers(net, {"a": Var("b"), "b": Var("a")})
+
+    def test_unknown_register_rejected(self):
+        net = Netlist("unknown")
+        net.add_input("i")
+        net.add_register("a", next=var("i"))
+        net.add_output("o", var("a"))
+        with pytest.raises(TransformError):
+            replace_registers(net, {"ghost": Var("a")})
+
+    def test_expression_replacement(self):
+        """Replace by a function of surviving registers (the interlock
+        removal pattern)."""
+        net = Netlist("expr")
+        net.add_input("i")
+        net.add_register("v", next=var("i"))
+        net.add_register("ld", next=var("i"))  # mirrors v here
+        net.add_register("flag", next=and_(var("v"), var("ld")))
+        net.add_output("o", var("flag"))
+        replaced = replace_registers(net, {"ld": Var("v")})
+        assert replaced.registers["flag"].next == var("v")

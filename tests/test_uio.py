@@ -1,0 +1,85 @@
+"""Unit tests for repro.tour.uio."""
+
+import pytest
+
+from repro.core.mealy import MealyMachine
+from repro.tour.uio import (
+    all_uio_sequences,
+    has_distinguishing_input,
+    is_uio_for,
+    uio_sequence,
+)
+
+
+class TestUIO:
+    def test_uio_for_counter_is_single_input(self, counter3):
+        # The counter outputs its value: one step identifies the state.
+        for s in counter3.states:
+            seq = uio_sequence(counter3, s, max_len=2)
+            assert seq is not None
+            assert len(seq) == 1
+            assert is_uio_for(counter3, s, seq)
+
+    def test_uio_validates(self, fig2_machine):
+        uios = all_uio_sequences(fig2_machine, max_len=6)
+        for state, seq in uios.items():
+            if seq is not None:
+                assert is_uio_for(fig2_machine, state, seq)
+
+    def test_fig2_s3_has_uio_via_b(self, fig2_machine):
+        seq = uio_sequence(fig2_machine, "s3", max_len=4)
+        assert seq is not None
+        assert is_uio_for(fig2_machine, "s3", seq)
+
+    def test_equivalent_states_have_no_uio(self):
+        m = MealyMachine.from_transitions(
+            "a",
+            [
+                ("a", 0, "o", "b"),
+                ("b", 0, "o", "a"),
+            ],
+        )
+        assert uio_sequence(m, "a", max_len=5) is None
+
+    def test_is_uio_rejects_non_unique(self, fig2_machine):
+        # Input a outputs o0 from many states: not a UIO for s1.
+        assert not is_uio_for(fig2_machine, "s1", ("a",))
+
+    def test_shift_register_uio_length(self, shiftreg3):
+        # Need to flush the whole register to identify a state.
+        seq = uio_sequence(shiftreg3, (0, 0, 0), max_len=5)
+        assert seq is not None
+        assert len(seq) == 3
+
+
+class TestDistinguishingInput:
+    def test_counter_has_none(self, counter3):
+        # up/down always move; no self-loop input exists.
+        assert has_distinguishing_input(counter3) is None
+
+    def test_constructed_status_input(self):
+        """A machine with a 'status' input that loops and reports the
+        state uniquely -- the classical conformance condition quoted
+        in Section 3."""
+        m = MealyMachine.from_transitions(
+            "a",
+            [
+                ("a", "go", "x", "b"),
+                ("b", "go", "y", "a"),
+                ("a", "status", "in-a", "a"),
+                ("b", "status", "in-b", "b"),
+            ],
+        )
+        assert has_distinguishing_input(m) == "status"
+
+    def test_non_unique_outputs_disqualify(self):
+        m = MealyMachine.from_transitions(
+            "a",
+            [
+                ("a", "status", "same", "a"),
+                ("b", "status", "same", "b"),
+                ("a", "go", "x", "b"),
+                ("b", "go", "y", "a"),
+            ],
+        )
+        assert has_distinguishing_input(m) is None

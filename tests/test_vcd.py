@@ -1,0 +1,86 @@
+"""Tests for the VCD waveform dumper."""
+
+import pytest
+
+from repro.rtl.vcd import VCDTrace, _identifier, trace_netlist
+from tests.test_rtl_netlist import counter_netlist, toggle_netlist
+
+
+class TestIdentifiers:
+    def test_distinct_and_printable(self):
+        ids = [_identifier(i) for i in range(500)]
+        assert len(set(ids)) == 500
+        for ident in ids:
+            assert all(33 <= ord(c) <= 126 for c in ident)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            _identifier(-1)
+
+
+class TestTrace:
+    def test_header_declares_signals(self):
+        trace = VCDTrace(["clk_en", "out"], module="top")
+        trace.record({"clk_en": True, "out": False})
+        text = trace.render()
+        assert "$scope module top $end" in text
+        assert "$var wire 1" in text
+        assert "clk_en" in text
+        assert "$enddefinitions $end" in text
+
+    def test_initial_dumpvars(self):
+        trace = VCDTrace(["a"])
+        trace.record({"a": True})
+        text = trace.render()
+        assert "$dumpvars" in text
+        assert "#0" in text
+
+    def test_only_changes_emitted(self):
+        trace = VCDTrace(["a"])
+        for value in (False, False, True, True, False):
+            trace.record({"a": value})
+        text = trace.render()
+        # Timestamps appear for cycles 0 (init), 2 (rise), 4 (fall),
+        # and the final end marker at 5.
+        stamps = [l for l in text.splitlines() if l.startswith("#")]
+        assert stamps == ["#0", "#2", "#4", "#5"]
+
+    def test_missing_signal_holds(self):
+        trace = VCDTrace(["a", "b"])
+        trace.record({"a": True, "b": True})
+        trace.record({"a": False})  # b holds True
+        text = trace.render()
+        lines = text.splitlines()
+        idx = lines.index("#1")
+        # Only a's change is listed after #1.
+        assert len(lines[idx + 1:]) >= 1
+        assert lines[idx + 1].endswith(trace._ids["a"])
+
+    def test_empty_signal_list_rejected(self):
+        with pytest.raises(ValueError):
+            VCDTrace([])
+
+
+class TestTraceNetlist:
+    def test_counter_waveform(self):
+        net = counter_netlist(2)
+        text = trace_netlist(
+            net, [{"en": True}] * 5, signals=["en", "q0", "q1", "tc"]
+        )
+        assert "$var wire 1" in text
+        assert "#4" in text  # activity across cycles
+
+    def test_default_signals_are_interface(self):
+        net = toggle_netlist()
+        text = trace_netlist(net, [{"t": True}] * 3)
+        assert " t $end" in text
+        assert " out $end" in text
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(ValueError):
+            trace_netlist(toggle_netlist(), [{"t": True}], signals=["zz"])
+
+    def test_register_signals_allowed(self):
+        net = toggle_netlist()
+        text = trace_netlist(net, [{"t": True}] * 2, signals=["q"])
+        assert " q $end" in text
