@@ -7,6 +7,7 @@
     python -m repro tour MODEL [...]      # tour a canonical model
     python -m repro validate ASM_FILE     # co-simulate a DLX program
     python -m repro catalog               # the design-error catalog
+    python -m repro campaign TARGET       # parallel fault campaign
 
 Each subcommand prints a self-contained report; exit status is
 non-zero when a validation fails.
@@ -114,6 +115,43 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    if args.target == "dlx":
+        from .dlx.programs import DIRECTED_PROGRAMS
+        from .validation import run_bug_campaign
+
+        tests = [(list(p), None, None) for p in DIRECTED_PROGRAMS.values()]
+        campaign = run_bug_campaign(
+            tests,
+            test_name=f"directed programs (jobs={args.jobs})",
+            jobs=args.jobs,
+            timeout=args.timeout,
+        )
+        print(campaign)
+        return 0 if campaign.coverage == 1.0 else 1
+    from .faults import run_campaign
+    from .tour import transition_tour
+
+    builder = CANONICAL_MODELS.get(args.target)
+    if builder is None:
+        print(
+            f"unknown campaign target {args.target!r}; choose 'dlx' or one "
+            f"of {', '.join(sorted(CANONICAL_MODELS))}",
+            file=sys.stderr,
+        )
+        return 2
+    machine = builder()
+    tour = transition_tour(machine, method=args.method)
+    print(f"model: {machine}")
+    print(f"{args.method} tour: {len(tour)} inputs, jobs={args.jobs}")
+    print(
+        run_campaign(
+            machine, tour.inputs, jobs=args.jobs, timeout=args.timeout
+        )
+    )
+    return 0
+
+
 def cmd_catalog(_args: argparse.Namespace) -> int:
     from .dlx.buggy import BUG_CATALOG
 
@@ -170,6 +208,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--bug", help="inject a catalog bug (see `repro catalog`)"
     )
     val.set_defaults(func=cmd_validate)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="parallel fault campaign on a canonical model or the DLX "
+        "bug catalog",
+    )
+    camp.add_argument(
+        "target",
+        help="'dlx' for the pipeline bug-catalog sweep, or one of "
+        + ", ".join(sorted(CANONICAL_MODELS)),
+    )
+    camp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (results are identical at any count)",
+    )
+    camp.add_argument(
+        "--method", choices=("cpp", "greedy"), default="cpp"
+    )
+    camp.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-fault wall-clock timeout in seconds; a timed-out "
+        "mutant is recorded as detected-by-crash",
+    )
+    camp.set_defaults(func=cmd_campaign)
 
     sub.add_parser(
         "catalog", help="list the design-error catalog"

@@ -2,6 +2,7 @@
 
 from .diagnose import Diagnosis, diagnose, diagnose_escapes
 from .campaign import (
+    CampaignExecutionError,
     CampaignResult,
     ComparisonRow,
     certified_tour_campaign,
@@ -26,6 +27,7 @@ from .simulate import (
 )
 
 __all__ = [
+    "CampaignExecutionError",
     "CampaignResult",
     "ComparisonRow",
     "Detection",

@@ -21,8 +21,19 @@ from typing import List, Optional, Sequence, Tuple
 from ..core.errors import OutputError, TransferError
 from ..core.mealy import Input, MealyMachine
 from ..core.theorems import CompletenessCertificate
+from ..parallel import (
+    CampaignCache,
+    inputs_fingerprint,
+    machine_fingerprint,
+    parallel_map,
+)
 from .inject import Fault, all_single_faults
 from .simulate import Detection, detect_fault, pad_inputs
+
+
+class CampaignExecutionError(RuntimeError):
+    """A campaign task failed (after retries) instead of returning a
+    verdict; raised rather than silently mislabelling the fault."""
 
 
 @dataclass(frozen=True)
@@ -83,28 +94,77 @@ class CampaignResult:
         return "\n".join(parts)
 
 
+def _detect_task(shared: Tuple[MealyMachine, Tuple[Input, ...]],
+                 fault: Fault) -> bool:
+    """Per-fault campaign task (module-level so workers can unpickle it)."""
+    spec, inputs = shared
+    return bool(detect_fault(spec, fault, inputs))
+
+
 def run_campaign(
     spec: MealyMachine,
     inputs: Sequence[Input],
     faults: Optional[Sequence[Fault]] = None,
+    *,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    cache: Optional[CampaignCache] = None,
 ) -> CampaignResult:
     """Test every fault in ``faults`` (default: the full single-fault
-    population) against the test set ``inputs``."""
+    population) against the test set ``inputs``.
+
+    ``jobs`` fans the mutant simulations out over worker processes; the
+    result is byte-identical to the serial run at any worker count
+    (faults keep their injection order).  A fault whose simulation
+    exceeds ``timeout`` wall-clock seconds is recorded as *detected* --
+    the mutant visibly diverged from the always-terminating spec, the
+    campaign-level analogue of a crash detection.  ``cache`` memoizes
+    verdicts by (machine, fault, test-set) so unchanged mutants are not
+    re-simulated across sweeps.
+    """
     population = (
         all_single_faults(spec) if faults is None else list(faults)
     )
-    detected: List[Fault] = []
-    escaped: List[Fault] = []
-    for fault in population:
-        if detect_fault(spec, fault, inputs):
-            detected.append(fault)
-        else:
-            escaped.append(fault)
+    test = tuple(inputs)
+    verdicts: List[Optional[bool]] = [None] * len(population)
+    keys: List[Optional[Tuple]] = [None] * len(population)
+    if cache is not None:
+        mfp = machine_fingerprint(spec)
+        tfp = inputs_fingerprint(test)
+        for i, fault in enumerate(population):
+            keys[i] = ("fsm", mfp, tfp, fault)
+            hit = cache.lookup(keys[i])
+            if hit is not CampaignCache.MISSING:
+                verdicts[i] = hit
+    pending = [i for i, v in enumerate(verdicts) if v is None]
+    if pending:
+        outcomes = parallel_map(
+            _detect_task,
+            [population[i] for i in pending],
+            shared=(spec, test),
+            jobs=jobs,
+            timeout=timeout,
+            retries=retries,
+        )
+        for i, outcome in zip(pending, outcomes):
+            if outcome.error is not None:
+                raise CampaignExecutionError(
+                    f"fault {population[i]} failed to simulate: "
+                    f"{outcome.error}"
+                )
+            verdict = True if outcome.timed_out else bool(outcome.value)
+            verdicts[i] = verdict
+            # Timeouts are environment-dependent; never memoize them.
+            if cache is not None and not outcome.timed_out:
+                cache.store(keys[i], verdict)
+    detected = tuple(f for f, v in zip(population, verdicts) if v)
+    escaped = tuple(f for f, v in zip(population, verdicts) if not v)
     return CampaignResult(
         machine_name=spec.name,
-        test_length=len(inputs),
-        detected=tuple(detected),
-        escaped=tuple(escaped),
+        test_length=len(test),
+        detected=detected,
+        escaped=escaped,
     )
 
 
@@ -113,6 +173,10 @@ def certified_tour_campaign(
     tour_inputs: Sequence[Input],
     certificate: CompletenessCertificate,
     faults: Optional[Sequence[Fault]] = None,
+    *,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    cache: Optional[CampaignCache] = None,
 ) -> CampaignResult:
     """Campaign with the Theorem 1 simulation discipline applied.
 
@@ -124,7 +188,9 @@ def certified_tour_campaign(
     """
     k = certificate.k or 0
     padded = pad_inputs(spec, tour_inputs, k)
-    return run_campaign(spec, padded, faults=faults)
+    return run_campaign(
+        spec, padded, faults=faults, jobs=jobs, timeout=timeout, cache=cache
+    )
 
 
 @dataclass(frozen=True)
@@ -142,6 +208,9 @@ def compare_test_sets(
     spec: MealyMachine,
     test_sets: Sequence[Tuple[str, Sequence[Input]]],
     faults: Optional[Sequence[Fault]] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[CampaignCache] = None,
 ) -> List[ComparisonRow]:
     """Run the same campaign under several test sets; one row each.
 
@@ -154,7 +223,9 @@ def compare_test_sets(
     )
     rows: List[ComparisonRow] = []
     for method, inputs in test_sets:
-        result = run_campaign(spec, inputs, faults=population)
+        result = run_campaign(
+            spec, inputs, faults=population, jobs=jobs, cache=cache
+        )
         by_cls = result.by_class()
         rows.append(
             ComparisonRow(

@@ -1,0 +1,118 @@
+"""Memo cache for campaign verdicts.
+
+Large validation sweeps re-simulate the same mutants over and over:
+scenario sweeps share most of their fault population, tour variants
+share the spec machine, and the DLX bug catalog is rerun against every
+new test battery.  The cache keys a verdict by *what determines it* --
+a structural fingerprint of the specification machine, the fault (or
+catalog bug), and the test set -- so an unchanged mutant is never
+simulated twice within a process.
+
+Fingerprints are SHA-256 digests over deterministic ``repr`` forms.
+Machine fingerprints cover the initial state and the full transition
+relation (not the name), so two structurally identical machines share
+cache entries while any edit to a transition invalidates them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Hashable, Iterable, Optional, Sequence
+
+
+def _digest(parts: Iterable[str]) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8", "backslashreplace"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def machine_fingerprint(machine: Any) -> str:
+    """Structural fingerprint of a Mealy machine (initial + delta)."""
+    return _digest(
+        [repr(machine.initial)] + [repr(t) for t in machine.transitions]
+    )
+
+
+def inputs_fingerprint(inputs: Sequence[Any]) -> str:
+    """Fingerprint of a test-input sequence."""
+    return _digest(repr(x) for x in inputs)
+
+
+def battery_fingerprint(
+    tests: Sequence[Any],
+) -> str:
+    """Fingerprint of a DLX test battery (program/data/oracle triples)."""
+    parts = []
+    for program, data, oracle in tests:
+        parts.append(repr(tuple(program)))
+        parts.append(repr(tuple(sorted(data.items())) if data else ()))
+        parts.append(repr(tuple(oracle) if oracle is not None else None))
+    return _digest(parts)
+
+
+class CampaignCache:
+    """In-memory verdict cache with hit/miss accounting.
+
+    Values are small (booleans, mismatch records); the default capacity
+    bound exists only to keep a pathological sweep from growing without
+    limit -- on overflow the cache drops its oldest entries.
+    """
+
+    #: Sentinel distinguishing "no entry" from a cached falsy verdict.
+    MISSING = object()
+
+    def __init__(self, max_entries: int = 1_000_000) -> None:
+        self.max_entries = max_entries
+        self._data: Dict[Hashable, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: Hashable) -> Any:
+        """The cached value for ``key``, or :data:`MISSING`."""
+        value = self._data.get(key, self.MISSING)
+        if value is self.MISSING:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def store(self, key: Hashable, value: Any) -> None:
+        if len(self._data) >= self.max_entries and key not in self._data:
+            # Drop the oldest entries (dict preserves insertion order).
+            for old in list(self._data)[: max(1, self.max_entries // 10)]:
+                del self._data[old]
+        self._data[key] = value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._data),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignCache(entries={len(self._data)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
+_GLOBAL: Optional[CampaignCache] = None
+
+
+def global_cache() -> CampaignCache:
+    """The process-wide shared campaign cache (created on first use)."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = CampaignCache()
+    return _GLOBAL

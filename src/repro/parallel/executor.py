@@ -1,0 +1,215 @@
+"""Worker-pool task execution with deterministic result ordering.
+
+The engine runs ``fn`` over a list of items, optionally fanning the
+work out to worker processes.  Three properties make it suitable for
+campaign duty:
+
+* **Determinism** -- outcomes are returned in submission order, one
+  :class:`TaskOutcome` per item, no matter how many workers ran them or
+  in which order chunks completed.  A campaign assembled from the
+  outcome list is therefore byte-identical at any ``jobs`` setting.
+* **Robustness** -- each task gets a wall-clock ``timeout`` (enforced
+  with ``SIGALRM`` where available, i.e. the main thread of a POSIX
+  process -- which both the serial path and pool workers are) and up to
+  ``retries`` re-runs on unexpected exceptions.  One livelocked mutant
+  times out instead of hanging the whole sweep.
+* **Graceful degradation** -- if the payload cannot be pickled or the
+  pool breaks (a worker dies, fork is unavailable), the affected chunks
+  are transparently re-run in-process; the result is the same, just
+  slower.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import signal
+import threading
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class TaskTimeout(Exception):
+    """A task exceeded its per-task wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """The outcome of one task, tagged with its submission index.
+
+    Exactly one of the following holds: ``ok`` (``value`` is valid),
+    ``timed_out`` (the task hit the wall-clock limit), or ``error``
+    is a non-None ``"ExcType: message"`` string (the task raised and
+    exhausted its retries).
+    """
+
+    index: int
+    value: Any = None
+    error: Optional[str] = None
+    timed_out: bool = False
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.timed_out
+
+
+def default_jobs() -> int:
+    """Worker count matching the CPUs this process may use."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _alarm_usable() -> bool:
+    """Wall-clock interruption needs SIGALRM and the main thread."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def _call_bounded(
+    fn: Callable[..., Any], args: Tuple[Any, ...], timeout: Optional[float]
+) -> Any:
+    """Call ``fn(*args)``, raising :class:`TaskTimeout` after ``timeout``
+    wall-clock seconds when preemption is available (best effort
+    otherwise)."""
+    if timeout is None or not _alarm_usable():
+        return fn(*args)
+
+    def _on_alarm(_signum: int, _frame: Any) -> None:
+        raise TaskTimeout(f"task exceeded {timeout:g}s wall clock")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return fn(*args)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# A chunk record travelling back from a worker:
+# (index, value, error, timed_out, attempts).
+_Record = Tuple[int, Any, Optional[str], bool, int]
+
+
+def _run_one(
+    fn: Callable[..., Any],
+    shared: Any,
+    index: int,
+    item: Any,
+    timeout: Optional[float],
+    retries: int,
+) -> _Record:
+    args = (item,) if shared is None else (shared, item)
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return (index, _call_bounded(fn, args, timeout), None, False,
+                    attempts)
+        except TaskTimeout:
+            # A livelocked task will time out again; never retry it.
+            return (index, None, None, True, attempts)
+        except Exception as exc:  # noqa: BLE001 - reported to the caller
+            if attempts > retries:
+                return (
+                    index,
+                    None,
+                    f"{type(exc).__name__}: {exc}",
+                    False,
+                    attempts,
+                )
+
+
+def _run_chunk(
+    fn: Callable[..., Any],
+    shared: Any,
+    pairs: Sequence[Tuple[int, Any]],
+    timeout: Optional[float],
+    retries: int,
+) -> List[_Record]:
+    """Worker entry point: run one chunk of (index, item) pairs."""
+    return [
+        _run_one(fn, shared, index, item, timeout, retries)
+        for index, item in pairs
+    ]
+
+
+def _picklable(payload: Any) -> bool:
+    try:
+        pickle.dumps(payload)
+        return True
+    except Exception:  # noqa: BLE001 - any failure means "stay local"
+        return False
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    items: Sequence[Any],
+    *,
+    shared: Any = None,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    chunk_size: Optional[int] = None,
+) -> List[TaskOutcome]:
+    """Run ``fn`` over ``items``; outcomes in submission order.
+
+    ``fn`` is called as ``fn(item)``, or ``fn(shared, item)`` when
+    ``shared`` is not None -- ``shared`` carries per-campaign context
+    (the spec machine, the test set) that is shipped once per chunk
+    instead of once per item.  With ``jobs <= 1`` everything runs
+    in-process; otherwise chunks are distributed over a process pool
+    and any chunk the pool fails to deliver is re-run locally.
+    """
+    work = list(items)
+    if not work:
+        return []
+    jobs = max(1, int(jobs))
+    if jobs == 1 or len(work) == 1 or not _picklable((fn, shared)):
+        return [
+            TaskOutcome(*_run_one(fn, shared, i, item, timeout, retries))
+            for i, item in enumerate(work)
+        ]
+
+    if chunk_size is None:
+        # Several chunks per worker so an unbalanced chunk cannot
+        # serialize the sweep.
+        chunk_size = max(1, math.ceil(len(work) / (jobs * 4)))
+    pairs = list(enumerate(work))
+    chunks = [
+        pairs[lo:lo + chunk_size] for lo in range(0, len(pairs), chunk_size)
+    ]
+
+    records: Dict[int, _Record] = {}
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(chunks))
+        ) as pool:
+            futures = {
+                pool.submit(_run_chunk, fn, shared, chunk, timeout, retries):
+                chunk
+                for chunk in chunks
+            }
+            for future in as_completed(futures):
+                try:
+                    for record in future.result():
+                        records[record[0]] = record
+                except Exception:  # noqa: BLE001 - re-run chunk locally
+                    continue
+    except Exception:  # noqa: BLE001 - pool itself failed; fall back
+        pass
+
+    # Whatever the pool did not deliver, compute locally (deterministic
+    # fallback -- same fn, same items, same order).
+    for index, item in pairs:
+        if index not in records:
+            records[index] = _run_one(fn, shared, index, item, timeout,
+                                      retries)
+    return [TaskOutcome(*records[index]) for index in range(len(work))]

@@ -2,7 +2,9 @@
 
 from .checkpoints import compare_checkpoint, compare_streams
 from .harness import (
+    BugCampaignError,
     campaign_from_concrete_test,
+    expected_stream,
     measure_latencies,
     run_bug_campaign,
     validate,
@@ -17,8 +19,10 @@ from .report import (
 from .testgen import ConcreteTest, ConversionError, fill_inputs
 
 __all__ = [
+    "BugCampaignError",
     "BugCampaignResult",
     "BugCampaignRow",
+    "expected_stream",
     "ConcreteTest",
     "ConversionError",
     "Mismatch",

@@ -13,10 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..dlx.behavioral import BehavioralDLX, ExecutionError
+from ..dlx.behavioral import BehavioralDLX, Checkpoint, ExecutionError
 from ..dlx.buggy import BUG_CATALOG, BugEntry
 from ..dlx.isa import Instruction
 from ..dlx.pipeline import PipelineBugs, PipelinedDLX
+from ..parallel import (
+    CampaignCache,
+    battery_fingerprint,
+    parallel_map,
+)
 from .checkpoints import compare_streams
 from .report import (
     BugCampaignResult,
@@ -27,32 +32,47 @@ from .report import (
 from .testgen import ConcreteTest
 
 
-def validate(
+class BugCampaignError(RuntimeError):
+    """A bug-campaign task failed (after retries) instead of returning
+    a verdict; raised rather than silently mislabelling the bug."""
+
+
+def expected_stream(
     program: Sequence[Instruction],
     data: Optional[Dict[int, int]] = None,
-    bugs: Optional[PipelineBugs] = None,
     branch_oracle: Optional[Sequence[bool]] = None,
-    max_cycles: Optional[int] = None,
-) -> ValidationResult:
-    """One checkpointed co-simulation of spec vs implementation.
+) -> List[Checkpoint]:
+    """The specification's checkpoint stream for one test.
 
-    A crash or livelock of the implementation (possible under injected
-    bugs -- e.g. a squash bug that sends the PC out of the program)
-    counts as a mismatch of field "crash".  ``max_cycles`` defaults to
-    a generous multiple of the program length.
+    The spec run depends only on (program, data, oracle) -- never on
+    the injected bugs -- so campaigns compute it once per test and
+    share it across every catalog entry instead of re-simulating it
+    per mutant.
     """
-    if max_cycles is None:
-        max_cycles = max(500_000, 6 * len(program))
     spec = BehavioralDLX(
         program, dict(data) if data else None, branch_oracle=branch_oracle
     )
+    return spec.run(max_steps=max(200_000, 2 * len(program)))
+
+
+def _co_simulate(
+    program: Sequence[Instruction],
+    data: Optional[Dict[int, int]],
+    bugs: Optional[PipelineBugs],
+    branch_oracle: Optional[Sequence[bool]],
+    max_cycles: Optional[int],
+    expected: Sequence[Checkpoint],
+) -> ValidationResult:
+    """Run the implementation and compare against a precomputed
+    specification stream (the Figure 1 checkpoint comparison)."""
+    if max_cycles is None:
+        max_cycles = max(500_000, 6 * len(program))
     impl = PipelinedDLX(
         program,
         dict(data) if data else None,
         bugs=bugs,
         branch_oracle=branch_oracle,
     )
-    expected = spec.run(max_steps=max(200_000, 2 * len(program)))
     try:
         observed = impl.run(max_cycles=max_cycles)
     except ExecutionError as exc:
@@ -69,6 +89,26 @@ def validate(
         cycles=impl.cycle_count,
         mismatch=compare_streams(expected, observed),
         max_latency=impl.max_latency(),
+    )
+
+
+def validate(
+    program: Sequence[Instruction],
+    data: Optional[Dict[int, int]] = None,
+    bugs: Optional[PipelineBugs] = None,
+    branch_oracle: Optional[Sequence[bool]] = None,
+    max_cycles: Optional[int] = None,
+) -> ValidationResult:
+    """One checkpointed co-simulation of spec vs implementation.
+
+    A crash or livelock of the implementation (possible under injected
+    bugs -- e.g. a squash bug that sends the PC out of the program)
+    counts as a mismatch of field "crash".  ``max_cycles`` defaults to
+    a generous multiple of the program length.
+    """
+    expected = expected_stream(program, data, branch_oracle)
+    return _co_simulate(
+        program, data, bugs, branch_oracle, max_cycles, expected
     )
 
 
@@ -89,11 +129,35 @@ def validate_concrete_test(
     )
 
 
+def _bug_entry_task(
+    shared: Tuple[Tuple, ...], entry: BugEntry
+) -> Tuple[bool, Optional[Mismatch]]:
+    """Per-catalog-entry campaign task: run the battery until the bug
+    produces a mismatch (module-level so workers can unpickle it)."""
+    for program, data, oracle, expected in shared:
+        result = _co_simulate(
+            list(program),
+            dict(data) if data else None,
+            entry.bugs,
+            list(oracle) if oracle is not None else None,
+            None,
+            expected,
+        )
+        if not result.passed:
+            return (True, result.mismatch)
+    return (False, None)
+
+
 def run_bug_campaign(
     tests: Sequence[Tuple[Sequence[Instruction], Optional[Dict[int, int]],
                           Optional[Sequence[bool]]]],
     catalog: Sequence[BugEntry] = BUG_CATALOG,
     test_name: str = "test-set",
+    *,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    cache: Optional[CampaignCache] = None,
 ) -> BugCampaignResult:
     """Run every catalog bug against a battery of test programs.
 
@@ -101,26 +165,75 @@ def run_bug_campaign(
     a bug counts as detected when *any* of them produces a mismatch.
     This is the DLX-level analogue of the FSM fault campaigns: the
     test set validates the implementation iff coverage is 100%.
+
+    ``jobs`` distributes catalog entries over worker processes; rows
+    come back in catalog order and are byte-identical to the serial
+    sweep at any worker count.  ``timeout`` bounds each entry's
+    wall-clock time: a mutant that livelocks (e.g. a bug that traps
+    the PC in a loop the squash logic never exits) is recorded as
+    detected with a "crash" mismatch instead of stalling the sweep for
+    the full ``max_cycles`` bound.  ``cache`` memoizes rows by
+    (catalog entry, test battery).
     """
-    rows: List[BugCampaignRow] = []
-    for entry in catalog:
-        found: Optional[Mismatch] = None
-        for program, data, oracle in tests:
-            result = validate(
-                program, data=data, bugs=entry.bugs, branch_oracle=oracle
-            )
-            if not result.passed:
-                found = result.mismatch
-                break
-        rows.append(
-            BugCampaignRow(
+    prepared = tuple(
+        (
+            tuple(program),
+            tuple(sorted(data.items())) if data else None,
+            tuple(oracle) if oracle is not None else None,
+            tuple(expected_stream(list(program), data, oracle)),
+        )
+        for program, data, oracle in tests
+    )
+    rows_by_index: Dict[int, BugCampaignRow] = {}
+    keys: List[Optional[Tuple]] = [None] * len(catalog)
+    if cache is not None:
+        bfp = battery_fingerprint(
+            [(p, dict(d) if d else None, o) for p, d, o, _e in prepared]
+        )
+        for i, entry in enumerate(catalog):
+            keys[i] = ("dlx", bfp, entry.name, entry.bugs)
+            hit = cache.lookup(keys[i])
+            if hit is not CampaignCache.MISSING:
+                rows_by_index[i] = hit
+    pending = [i for i in range(len(catalog)) if i not in rows_by_index]
+    if pending:
+        outcomes = parallel_map(
+            _bug_entry_task,
+            [catalog[i] for i in pending],
+            shared=prepared,
+            jobs=jobs,
+            timeout=timeout,
+            retries=retries,
+        )
+        for i, outcome in zip(pending, outcomes):
+            entry = catalog[i]
+            if outcome.error is not None:
+                raise BugCampaignError(
+                    f"catalog bug {entry.name!r} failed to simulate: "
+                    f"{outcome.error}"
+                )
+            if outcome.timed_out:
+                # The correct design always halts well inside the
+                # budget, so a timed-out mutant has visibly diverged:
+                # detected by crash, same as a livelock that exhausts
+                # max_cycles -- just without the wait.
+                detected, mismatch = True, Mismatch(
+                    0, "crash", "halt",
+                    f"per-fault timeout: exceeded {timeout:g}s wall clock",
+                )
+            else:
+                detected, mismatch = outcome.value
+            row = BugCampaignRow(
                 bug_name=entry.name,
                 mechanism=entry.mechanism,
-                detected=found is not None,
-                mismatch=found,
+                detected=detected,
+                mismatch=mismatch,
             )
-        )
-    return BugCampaignResult(test_name=test_name, rows=tuple(rows))
+            rows_by_index[i] = row
+            if cache is not None and not outcome.timed_out:
+                cache.store(keys[i], row)
+    rows = tuple(rows_by_index[i] for i in range(len(catalog)))
+    return BugCampaignResult(test_name=test_name, rows=rows)
 
 
 def campaign_from_concrete_test(
@@ -128,6 +241,10 @@ def campaign_from_concrete_test(
     catalog: Sequence[BugEntry] = BUG_CATALOG,
     test_name: str = "tour-test",
     data: Optional[Dict[int, int]] = None,
+    *,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    cache: Optional[CampaignCache] = None,
 ) -> BugCampaignResult:
     """Bug campaign driven by a single converted tour test."""
     image = data if data is not None else test.data
@@ -135,6 +252,9 @@ def campaign_from_concrete_test(
         [(list(test.program), image, list(test.branch_oracle))],
         catalog=catalog,
         test_name=test_name,
+        jobs=jobs,
+        timeout=timeout,
+        cache=cache,
     )
 
 

@@ -1,0 +1,125 @@
+"""Timeout robustness: a livelocked mutant cannot hang a campaign.
+
+The interlock-dropped bug plus a load-use dependent ``JR`` is a real
+livelock: the consumer receives the load's *address* (0) from the
+EX/MEM bypass instead of the loaded jump target, so the PC loops over
+the load forever and the squash logic kills every fetch of HALT.
+Without a wall-clock bound the sweep would spin for the full
+``max_cycles`` budget (hundreds of thousands of cycles); the per-fault
+timeout records the mutant as detected-by-crash within a fraction of
+a second.
+"""
+
+import time
+
+import pytest
+
+from repro.dlx.buggy import catalog_by_name
+from repro.dlx.isa import HALT, Instruction, Op
+from repro.dlx.pipeline import PipelineBugs, PipelinedDLX
+from repro.dlx.behavioral import ExecutionError
+from repro.validation import run_bug_campaign, validate
+
+# r1 <- mem[0] (= 2, the address of HALT); jump through r1.
+LIVELOCK_PROGRAM = [
+    Instruction(Op.LW, rd=1, rs1=0, imm=0),
+    Instruction(Op.JR, rs1=1),
+    HALT,
+]
+LIVELOCK_DATA = {0: 2}
+
+
+@pytest.fixture
+def livelock_entry():
+    return catalog_by_name()["interlock_dropped"]
+
+
+class TestLivelockPremise:
+    def test_correct_design_passes(self):
+        result = validate(LIVELOCK_PROGRAM, data=dict(LIVELOCK_DATA))
+        assert result.passed, result
+
+    def test_buggy_design_really_livelocks(self, livelock_entry):
+        impl = PipelinedDLX(
+            LIVELOCK_PROGRAM,
+            dict(LIVELOCK_DATA),
+            bugs=livelock_entry.bugs,
+        )
+        with pytest.raises(ExecutionError):
+            impl.run(max_cycles=5_000)
+
+
+class TestCampaignTimeout:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_livelocked_mutant_detected_by_crash(self, livelock_entry,
+                                                 jobs):
+        start = time.perf_counter()
+        campaign = run_bug_campaign(
+            [(LIVELOCK_PROGRAM, dict(LIVELOCK_DATA), None)],
+            catalog=[livelock_entry],
+            test_name="livelock",
+            jobs=jobs,
+            timeout=0.4,
+        )
+        elapsed = time.perf_counter() - start
+        (row,) = campaign.rows
+        assert row.detected
+        assert row.mismatch is not None
+        assert row.mismatch.field == "crash"
+        assert "timeout" in str(row.mismatch.observed)
+        assert campaign.coverage == 1.0
+        # The whole point: seconds, not the max_cycles eternity.
+        assert elapsed < 10
+
+    def test_timeout_rows_identical_across_worker_counts(
+        self, livelock_entry
+    ):
+        kwargs = dict(
+            catalog=[livelock_entry],
+            test_name="livelock",
+            timeout=0.4,
+        )
+        tests = [(LIVELOCK_PROGRAM, dict(LIVELOCK_DATA), None)]
+        serial = run_bug_campaign(tests, jobs=1, **kwargs)
+        parallel = run_bug_campaign(tests, jobs=2, **kwargs)
+        assert serial.rows == parallel.rows
+
+    def test_healthy_entries_unaffected_by_timeout(self):
+        # A generous timeout must not perturb a normal sweep.
+        catalog = [
+            catalog_by_name()["bypass_exmem_missing"],
+            catalog_by_name()["squash_absent"],
+        ]
+        program = [
+            Instruction(Op.ADDI, rd=1, rs1=0, imm=7),
+            Instruction(Op.ADD, rd=2, rs1=1, rs2=1),
+            Instruction(Op.SW, rs1=0, rs2=2, imm=5),
+            HALT,
+        ]
+        plain = run_bug_campaign([(program, None, None)], catalog=catalog)
+        timed = run_bug_campaign(
+            [(program, None, None)], catalog=catalog, timeout=30.0
+        )
+        assert plain.rows == timed.rows
+
+    def test_mixed_sweep_survives_one_livelock(self, livelock_entry):
+        # The livelocked entry is contained; the rest of the catalog
+        # still gets its ordinary verdicts, in catalog order.
+        catalog = [
+            catalog_by_name()["bypass_exmem_missing"],
+            livelock_entry,
+            catalog_by_name()["psw_misses_immediates"],
+        ]
+        campaign = run_bug_campaign(
+            [(LIVELOCK_PROGRAM, dict(LIVELOCK_DATA), None)],
+            catalog=catalog,
+            timeout=0.4,
+        )
+        assert [r.bug_name for r in campaign.rows] == [
+            "bypass_exmem_missing",
+            "interlock_dropped",
+            "psw_misses_immediates",
+        ]
+        livelock_row = campaign.rows[1]
+        assert livelock_row.detected
+        assert livelock_row.mismatch.field == "crash"

@@ -52,6 +52,29 @@ class TestValidate:
         assert main(["validate", str(asm), "--bug", "nope"]) == 2
 
 
+class TestCampaign:
+    def test_campaign_model_serial(self, capsys):
+        assert main(["campaign", "figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "error coverage" in out
+        assert "jobs=1" in out
+
+    def test_campaign_model_parallel_matches_serial(self, capsys):
+        assert main(["campaign", "counter"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["campaign", "counter", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial.replace("jobs=1", "jobs=2") == parallel
+
+    def test_campaign_dlx(self, capsys):
+        assert main(["campaign", "dlx", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "10/10 catalog bugs detected" in out
+
+    def test_campaign_unknown_target(self, capsys):
+        assert main(["campaign", "nonsense"]) == 2
+
+
 class TestOthers:
     def test_catalog(self, capsys):
         assert main(["catalog"]) == 0

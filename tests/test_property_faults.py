@@ -1,0 +1,134 @@
+"""Property-based tests for :mod:`repro.faults.simulate`.
+
+Machines are generated from integer seeds (hypothesis shrinks the
+seed, the builder stays deterministic), covering the simulator's core
+contracts: padding never shortens a test, detection is a pure function
+of (machine, fault, test set), and a fault-free implementation -- the
+"identity fault" -- is never reported as detected.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import FaultError, OutputError, TransferError
+from repro.core.mealy import MealyMachine
+from repro.faults import (
+    all_single_faults,
+    compare_runs,
+    detect_fault,
+    pad_inputs,
+    run_campaign,
+)
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+def build_machine(seed: int) -> MealyMachine:
+    """A small, input-complete, pseudo-random Mealy machine."""
+    rng = random.Random(seed)
+    n_states = rng.randint(2, 5)
+    states = [f"s{i}" for i in range(n_states)]
+    inputs = ["a", "b", "c"][: rng.randint(1, 3)]
+    outputs = ["x", "y", "z"][: rng.randint(2, 3)]
+    m = MealyMachine(states[0], name=f"rand{seed}")
+    for s in states:
+        for i in inputs:
+            m.add_transition(
+                s, i, rng.choice(outputs), rng.choice(states)
+            )
+    return m
+
+
+def build_inputs(machine: MealyMachine, seed: int, length: int):
+    """A valid input sequence walked on the machine (complete machines
+    accept anything, but walking keeps this generalizable)."""
+    rng = random.Random(seed)
+    state = machine.initial
+    seq = []
+    for _ in range(length):
+        options = sorted(machine.defined_inputs(state), key=repr)
+        if not options:
+            break
+        inp = rng.choice(options)
+        seq.append(inp)
+        state, _out = machine.step(state, inp)
+    return tuple(seq)
+
+
+machines = st.integers(min_value=0, max_value=10**6)
+
+
+class TestPadInputs:
+    @SETTINGS
+    @given(seed=machines, length=st.integers(0, 10),
+           extra=st.integers(0, 6))
+    def test_never_shortens_and_preserves_prefix(self, seed, length,
+                                                 extra):
+        m = build_machine(seed)
+        base = build_inputs(m, seed + 1, length)
+        padded = pad_inputs(m, base, extra)
+        assert len(padded) >= len(base)
+        assert padded[: len(base)] == base
+        assert len(padded) <= len(base) + extra
+
+    @SETTINGS
+    @given(seed=machines, length=st.integers(0, 10),
+           extra=st.integers(0, 6))
+    def test_padded_sequence_is_runnable(self, seed, length, extra):
+        m = build_machine(seed)
+        base = build_inputs(m, seed + 1, length)
+        padded = pad_inputs(m, base, extra)
+        m.run(padded)  # must not raise
+
+    @SETTINGS
+    @given(seed=machines, length=st.integers(0, 8))
+    def test_zero_padding_is_identity(self, seed, length):
+        m = build_machine(seed)
+        base = build_inputs(m, seed + 1, length)
+        assert pad_inputs(m, base, 0) == base
+
+
+class TestDetectDeterminism:
+    @SETTINGS
+    @given(seed=machines, pick=st.integers(0, 10**6),
+           length=st.integers(1, 12))
+    def test_detect_fault_repeatable(self, seed, pick, length):
+        m = build_machine(seed)
+        population = all_single_faults(m)
+        fault = population[pick % len(population)]
+        inputs = build_inputs(m, seed + 2, length)
+        first = detect_fault(m, fault, inputs)
+        for _ in range(2):
+            again = detect_fault(m, fault, inputs)
+            assert again == first
+
+    @SETTINGS
+    @given(seed=machines, length=st.integers(1, 10))
+    def test_campaign_repeatable(self, seed, length):
+        m = build_machine(seed)
+        inputs = build_inputs(m, seed + 3, length)
+        assert run_campaign(m, inputs) == run_campaign(m, inputs)
+
+
+class TestIdentityFault:
+    @SETTINGS
+    @given(seed=machines, length=st.integers(0, 12))
+    def test_fault_free_copy_never_detected(self, seed, length):
+        m = build_machine(seed)
+        inputs = build_inputs(m, seed + 4, length)
+        detection = compare_runs(m, m.copy(), inputs)
+        assert not detection.detected
+        assert detection.step is None
+
+    @SETTINGS
+    @given(seed=machines)
+    def test_noop_faults_are_rejected_at_injection(self, seed):
+        m = build_machine(seed)
+        t = m.transitions[0]
+        with pytest.raises(FaultError):
+            OutputError(t.src, t.inp, t.out).apply(m)
+        with pytest.raises(FaultError):
+            TransferError(t.src, t.inp, t.dst).apply(m)

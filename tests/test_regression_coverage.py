@@ -1,0 +1,107 @@
+"""Regression pins for the headline error-coverage numbers.
+
+Theorem 1's empirical claim (certified machines: coverage == 1.0) and
+the DLX bug-catalog results are the repo's scientific output; this
+module pins their exact values so an engine change that silently
+shifts a verdict -- a lost fault, a reordered population, a detection
+flipped by a scheduling accident -- fails loudly instead of drifting.
+"""
+
+import pytest
+
+from repro.core.abstraction import observe_state_component
+from repro.core.requirements import RequirementResult
+from repro.core.theorems import theorem1_certificate
+from repro.dlx.programs import DIRECTED_PROGRAMS
+from repro.faults import certified_tour_campaign, run_campaign
+from repro.models import counter, figure2_fragment, shift_register
+from repro.tour import transition_tour
+from repro.validation import run_bug_campaign
+
+PASSING_R1 = RequirementResult("R1", True, (), "assumed")
+
+
+class TestTheorem1CertifiedMachines:
+    """Certified machines must keep exactly 100% error coverage."""
+
+    @pytest.mark.parametrize(
+        "builder,expected_k,expected_total",
+        [
+            (lambda: counter(3), 1, 256),
+            (lambda: shift_register(3), 3, 128),
+        ],
+        ids=["counter3", "shiftreg3"],
+    )
+    def test_certified_coverage_pinned(self, builder, expected_k,
+                                       expected_total):
+        machine = builder()
+        cert = theorem1_certificate(machine, PASSING_R1)
+        assert cert.complete
+        assert cert.k == expected_k
+        tour = transition_tour(machine)
+        result = certified_tour_campaign(machine, tour.inputs, cert)
+        assert result.total == expected_total
+        assert result.coverage == 1.0
+        assert result.escaped == ()
+
+    def test_observable_fig2_coverage_pinned(self):
+        machine, _fault = figure2_fragment()
+        rich = observe_state_component(machine, lambda s: s)
+        cert = theorem1_certificate(rich, PASSING_R1)
+        assert cert.complete and cert.k == 1
+        tour = transition_tour(rich)
+        result = certified_tour_campaign(rich, tour.inputs, cert)
+        assert result.total == 357
+        assert result.coverage == 1.0
+
+
+class TestFigure2Escapes:
+    """The uncertified Figure 2 fragment's escape set is part of the
+    paper's argument; pin it exactly."""
+
+    def test_uncertified_numbers_pinned(self):
+        machine, _fault = figure2_fragment()
+        tour = transition_tour(machine)
+        result = run_campaign(machine, tour.inputs)
+        assert result.total == 273
+        assert len(result.detected) == 266
+        by_class = result.by_class()
+        assert by_class["output"] == {
+            "detected": 147, "escaped": 0, "coverage": 1.0,
+        }
+        assert by_class["transfer"]["detected"] == 119
+        assert by_class["transfer"]["escaped"] == 7
+        assert sorted(str(f) for f in result.escaped) == [
+            "xfer[s2/a->s3p]",
+            "xfer[s5/c->s2]",
+            "xfer[s5/c->s3]",
+            "xfer[s5/c->s3p]",
+            "xfer[s5/c->s4]",
+            "xfer[s5/c->s4p]",
+            "xfer[s5/c->s5]",
+        ]
+
+
+class TestDLXBugCatalog:
+    """The directed-program battery detects the full catalog."""
+
+    def test_catalog_detection_pinned(self):
+        tests = [
+            (list(p), None, None) for p in DIRECTED_PROGRAMS.values()
+        ]
+        campaign = run_bug_campaign(tests, test_name="directed")
+        assert campaign.coverage == 1.0
+        assert [row.bug_name for row in campaign.rows] == [
+            "interlock_dropped",
+            "interlock_misses_rs2",
+            "bypass_exmem_missing",
+            "bypass_memwb_missing",
+            "bypass_priority_inverted",
+            "store_data_not_forwarded",
+            "squash_misses_delay_slot",
+            "squash_absent",
+            "psw_misses_immediates",
+            "link_address_off_by_one",
+        ]
+        assert all(row.detected for row in campaign.rows)
+        assert all(row.mismatch is not None for row in campaign.rows)
