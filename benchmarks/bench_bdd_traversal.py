@@ -32,6 +32,7 @@ def test_explicit_vs_implicit_crossover(benchmark):
         f"{'latches':>8} {'states':>10} {'explicit (s)':>13} "
         f"{'implicit (s)':>13} {'peak nodes':>11}"
     ]
+    data = {"widths": {}}
     for width in WIDTHS:
         net = counter_netlist(width)
         t0 = time.perf_counter()
@@ -46,7 +47,16 @@ def test_explicit_vs_implicit_crossover(benchmark):
             f"{width:>8} {explicit:>10,} {t_explicit:>13.3f} "
             f"{t_implicit:>13.3f} {result.peak_nodes:>11}"
         )
-    emit("BDD: explicit enumeration vs implicit traversal", rows)
+        data["widths"][str(width)] = {
+            "states": explicit,
+            "explicit_seconds": t_explicit,
+            "implicit_seconds": t_implicit,
+            "peak_nodes": result.peak_nodes,
+        }
+    emit(
+        "BDD: explicit enumeration vs implicit traversal", rows,
+        name="bdd_crossover", data=data,
+    )
     # Benchmark the implicit traversal of the widest counter.
     widest = counter_netlist(WIDTHS[-1])
     benchmark(
@@ -70,7 +80,18 @@ def test_partitioned_relation_on_dlx_model(benchmark):
         f"({result.density:.2e}) in {result.iterations} iterations, "
         f"{result.seconds:.2f}s",
     ]
-    emit("BDD: partitioned traversal of the DLX tour netlist", rows)
+    emit(
+        "BDD: partitioned traversal of the DLX tour netlist", rows,
+        name="bdd_partitioned_dlx",
+        data={
+            "latches": net.latch_count(),
+            "inputs": net.input_count(),
+            "relation_nodes": fsm.relation_size(),
+            "reachable_states": result.num_states,
+            "iterations": result.iterations,
+            "traversal_seconds": result.seconds,
+        },
+    )
     assert result.num_states > 100_000  # far beyond comfortable explicit reach
 
 
@@ -95,7 +116,16 @@ def test_force_ordering_effect(benchmark):
         f"{default_fsm.relation_size()}, FORCE "
         f"{forced_fsm.relation_size()}",
     ]
-    emit("BDD: FORCE static ordering ablation", rows)
+    emit(
+        "BDD: FORCE static ordering ablation", rows,
+        name="bdd_force_ordering",
+        data={
+            "span_declaration": total_span(declared, edges),
+            "span_force": total_span(order, edges),
+            "relation_nodes_declaration": default_fsm.relation_size(),
+            "relation_nodes_force": forced_fsm.relation_size(),
+        },
+    )
     assert total_span(order, edges) <= total_span(declared, edges)
 
 
@@ -130,5 +160,15 @@ def test_monolithic_relation_explodes(benchmark):
         f"{conjoined}/{len(fsm.parts)} conjuncts "
         + ("(budget exceeded, aborted)" if blew_up else "(completed)"),
     ]
-    emit("BDD: monolithic vs partitioned relation size", rows)
+    emit(
+        "BDD: monolithic vs partitioned relation size", rows,
+        name="bdd_monolithic",
+        data={
+            "partitioned_nodes": fsm.relation_size(),
+            "conjuncts": len(fsm.parts),
+            "monolithic_nodes": mgr.size(relation),
+            "conjoined": conjoined,
+            "blew_up": blew_up,
+        },
+    )
     assert mgr.size(relation) > 10 * fsm.relation_size()

@@ -57,6 +57,7 @@ def test_coverage_baselines(benchmark):
         f"{'model':<10} {'criterion':<9} {'len':>6} {'error cov':>10} "
         f"{'output':>8} {'transfer':>9}"
     ]
+    data = {"models": {}}
     for name, comparisons in table.items():
         for row in comparisons:
             rows.append(
@@ -64,7 +65,16 @@ def test_coverage_baselines(benchmark):
                 f"{row.coverage:>10.1%} {row.output_coverage:>8.1%} "
                 f"{row.transfer_coverage:>9.1%}"
             )
-    emit("COMP: state vs random vs transition coverage", rows)
+            data["models"].setdefault(name, {})[row.method] = {
+                "test_length": row.test_length,
+                "coverage": row.coverage,
+                "output_coverage": row.output_coverage,
+                "transfer_coverage": row.transfer_coverage,
+            }
+    emit(
+        "COMP: state vs random vs transition coverage", rows,
+        name="coverage_baselines", data=data,
+    )
 
     # Shape claims over the population:
     tour_scores, state_scores, random_scores = [], [], []
@@ -112,6 +122,12 @@ def test_structural_stuck_at_bridge(benchmark):
             f"tour vectors ({len(tour_vectors)}):   {full}",
             f"random vectors ({len(random_vectors)}): {rand}",
         ],
+        name="stuck_at_bridge",
+        data={
+            "vectors": len(tour_vectors),
+            "tour_coverage": full.coverage,
+            "random_coverage": rand.coverage,
+        },
     )
     assert full.coverage == 1.0
     assert rand.coverage <= full.coverage

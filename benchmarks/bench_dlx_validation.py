@@ -38,6 +38,7 @@ def test_correct_design_passes_tour_tests(benchmark, mem_test, alt_test):
         rounds=1,
         iterations=1,
     )
+    data = {"tests": {}}
     for (label, test), result in zip(
         (("mem", mem_test), ("alt", alt_test)), results
     ):
@@ -45,8 +46,16 @@ def test_correct_design_passes_tour_tests(benchmark, mem_test, alt_test):
             f"{label} tour test: {len(test.program):,} instructions, "
             f"{len(test.branch_oracle):,} forced branches -> {result}"
         )
+        data["tests"][label] = {
+            "instructions": len(test.program),
+            "forced_branches": len(test.branch_oracle),
+            "passed": result.passed,
+        }
         assert result.passed, result
-    emit("THM23: correct design under tour-derived tests", rows)
+    emit(
+        "THM23: correct design under tour-derived tests", rows,
+        name="dlx_correct_design", data=data,
+    )
 
 
 def test_requirement2_bound(benchmark):
@@ -58,11 +67,19 @@ def test_requirement2_bound(benchmark):
 
     latencies = benchmark(gather)
     verdict = check_bounded_latency(latencies, k=5)
+    worst = max(l for _i, l in latencies)
     emit(
         "THM23: Requirement 2 (bounded processing)",
         [str(verdict),
-         f"worst observed latency: {max(l for _i, l in latencies)} cycles "
+         f"worst observed latency: {worst} cycles "
          f"(5 stages + 1 interlock stall)"],
+        name="dlx_req2_latency",
+        data={
+            "samples": len(latencies),
+            "worst_latency_cycles": worst,
+            "k_bound": 5,
+            "passed": verdict.passed,
+        },
     )
     assert verdict.passed
 
@@ -80,7 +97,17 @@ def test_bug_catalog_campaign(benchmark, mem_test, alt_test):
         rounds=1,
         iterations=1,
     )
-    emit("THM23: design-error catalog vs tour tests", str(campaign).split("\n"))
+    emit(
+        "THM23: design-error catalog vs tour tests",
+        str(campaign).split("\n"),
+        name="dlx_bug_catalog",
+        data={
+            "total": campaign.total,
+            "detected": campaign.detected,
+            "coverage": campaign.coverage,
+            "tests": len(tests),
+        },
+    )
     assert campaign.coverage == 1.0, campaign
 
 
@@ -111,9 +138,18 @@ def test_overabstracted_model_misses_dataflow_bugs(benchmark):
         f"(tour {len(test.program):,} instructions)",
     ]
     rows.extend(str(campaign).split("\n"))
-    emit("THM23 ablation: abstracting too much (Section 6.3)", rows)
-
     by_mech = campaign.by_mechanism()
+    emit(
+        "THM23 ablation: abstracting too much (Section 6.3)", rows,
+        name="dlx_overabstraction",
+        data={
+            "tour_instructions": len(test.program),
+            "coverage": campaign.coverage,
+            "by_mechanism": {
+                mech: dict(counts) for mech, counts in by_mech.items()
+            },
+        },
+    )
     # Dataflow-dependent bugs escape...
     assert by_mech["interlock"]["detected"] == 0
     assert by_mech["bypass"]["detected"] == 0

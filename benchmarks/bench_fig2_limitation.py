@@ -19,12 +19,14 @@ from repro.tour import transition_tour
 def fig2_rows():
     model, fault = figure2_fragment()
     rows = []
+    data = {"tours": {}}
     report = analyze_forall_k(model)
     rows.append(
         f"model: {len(model)} states / {model.num_transitions()} "
         f"transitions; forall-k holds: {report.holds}; residual pairs: "
         f"{sorted(report.residual_pairs, key=repr)}"
     )
+    data["forall_k_holds"] = report.holds
     for method in ("cpp", "greedy"):
         tour = transition_tour(model, method=method)
         hit = detect_fault(model, fault, tour.inputs).detected
@@ -37,6 +39,13 @@ def fig2_rows():
             f"{by_cls['output']['coverage']:.0%}, transfer "
             f"{by_cls['transfer']['coverage']:.1%})"
         )
+        data["tours"][method] = {
+            "length": len(tour),
+            "figure2_fault_detected": hit,
+            "coverage": campaign.coverage,
+            "output_coverage": by_cls["output"]["coverage"],
+            "transfer_coverage": by_cls["transfer"]["coverage"],
+        }
     observable = observe_state_component(model, lambda s: s)
     cert = theorem1_certificate(
         observable, RequirementResult("R1", True, (), "state observed")
@@ -47,12 +56,20 @@ def fig2_rows():
         f"with Requirement 5 repair: certified k={cert.k}; coverage "
         f"{fixed.coverage:.1%} over {fixed.total} faults"
     )
-    return rows, model
+    data["repaired"] = {
+        "certified_k": cert.k,
+        "coverage": fixed.coverage,
+        "faults": fixed.total,
+    }
+    return rows, model, data
 
 
 def test_fig2_limitation(benchmark):
-    rows, model = fig2_rows()
-    emit("FIG2: limitation of transition tours (paper Figure 2)", rows)
+    rows, model, data = fig2_rows()
+    emit(
+        "FIG2: limitation of transition tours (paper Figure 2)", rows,
+        name="fig2_limitation", data=data,
+    )
     # Shape assertions: the escape exists and the repair eliminates it.
     assert any("ESCAPED" in r for r in rows)
     assert "coverage 100.0%" in rows[-1]

@@ -42,7 +42,16 @@ def test_fig3a_initial_model_structure(benchmark):
     }
     for group, count in inventory.items():
         rows.append(f"  {group:<32} {count:>4}")
-    emit("FIG3A: initial DLX abstract test model", rows)
+    emit(
+        "FIG3A: initial DLX abstract test model", rows,
+        name="fig3a_structure",
+        data={
+            "latches": net.latch_count(),
+            "inputs": net.input_count(),
+            "outputs": net.output_count(),
+            "inventory": inventory,
+        },
+    )
     assert net.latch_count() == 160
     assert net.output_count() == 32
     assert "data_zero" in net.inputs  # the branch-select status input
@@ -64,7 +73,19 @@ def test_fig3b_abstraction_sequence(benchmark):
         f"{'total reduction factor':<44} {ratio_ours:>5.1f}x "
         f"{ratio_paper:>5.1f}x"
     )
-    emit("FIG3B: test-model abstraction sequence", rows)
+    emit(
+        "FIG3B: test-model abstraction sequence", rows,
+        name="fig3b_abstraction",
+        data={
+            "steps": [
+                {"label": label, "latches": net.latch_count()}
+                for label, net in trail
+            ],
+            "paper_sequence": list(PAPER_SEQUENCE),
+            "reduction_ours": ratio_ours,
+            "reduction_paper": ratio_paper,
+        },
+    )
     # Shape: same number of steps, strictly decreasing, same start,
     # substantial total reduction.
     assert len(counts) == len(PAPER_SEQUENCE)

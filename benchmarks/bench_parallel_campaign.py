@@ -115,6 +115,19 @@ def test_dlx_sweep_speedup(benchmark):
             f"worker count: "
             f"{serial.rows == parallel.rows == warm.rows}",
         ],
+        name="parallel_dlx_sweep",
+        data={
+            "tests": len(tests),
+            "bugs": len(BUG_CATALOG),
+            "usable_cpus": cpus,
+            "serial_seconds": t_serial,
+            "parallel_seconds": t_parallel,
+            "warm_cache_seconds": t_warm,
+            "speedup": speedup,
+            "cache_speedup": cache_speedup,
+            "coverage": serial.coverage,
+            "rows_identical": serial.rows == parallel.rows == warm.rows,
+        },
     )
 
     # Determinism is unconditional.
@@ -164,6 +177,16 @@ def test_fsm_campaign_speedup(benchmark):
             f"coverage {serial.coverage:.1%}; identical results: "
             f"{serial == parallel}",
         ],
+        name="parallel_fsm_campaign",
+        data={
+            "population": serial.total,
+            "test_length": serial.test_length,
+            "serial_seconds": t_serial,
+            "parallel_seconds": t_parallel,
+            "speedup": speedup,
+            "coverage": serial.coverage,
+            "identical": serial == parallel,
+        },
     )
     assert parallel == serial
     # A bare transition tour is not a certified test set; the point

@@ -58,7 +58,20 @@ def test_sec72_full_model_statistics(benchmark):
         f"{'relation build+traverse':<28} {f'{elapsed:.1f}s':>24} "
         f"{'~10s build':>18}",
     ]
-    emit("SEC72 (full final model): traversal statistics", rows)
+    emit(
+        "SEC72 (full final model): traversal statistics", rows,
+        name="sec72_full_model",
+        data={
+            "latches": len(fsm.state_bits),
+            "inputs": len(fsm.input_bits),
+            "valid_inputs": valid,
+            "input_space": input_space,
+            "reachable_states": result.num_states,
+            "state_space": result.state_space,
+            "transitions": transitions,
+            "traverse_seconds": elapsed,
+        },
+    )
     # Shape claims: don't-cares prune most inputs; reachable states a
     # vanishing fraction of the raw space.
     assert 0 < valid < input_space / 2
@@ -88,6 +101,15 @@ def test_sec72_explicit_scale_tour_statistics(benchmark, mem_model, mem_tour):
         f"length/transitions = {ratio:.2f}x "
         f"(paper's non-optimal tour: 1069M/123M = 8.7x)",
     ]
-    emit("SEC72 (explicit-scale model): tour statistics", rows)
+    emit(
+        "SEC72 (explicit-scale model): tour statistics", rows,
+        name="sec72_tour",
+        data={
+            "states": states,
+            "transitions": transitions,
+            "tour_length": length,
+            "ratio": ratio,
+        },
+    )
     assert covers
     assert 1.0 <= ratio < 8.7

@@ -56,6 +56,7 @@ def test_theorem1_coverage(benchmark):
     )
     rows = [f"{'group':<12} {'machines':>9} {'faults':>8} "
             f"{'output cov':>11} {'transfer cov':>13}"]
+    data = {"groups": {}}
     for label, group in (("certified", certified), ("control", control)):
         campaigns = [entry[-1] for entry in group]
         total = sum(c.total for c in campaigns)
@@ -78,7 +79,16 @@ def test_theorem1_coverage(benchmark):
             f"{label:<12} {len(group):>9} {total:>8} "
             f"{out_cov:>11.1%} {xfer_det / max(1, xfer_all):>13.1%}"
         )
-    emit("THM1: tour completeness, certified vs uncertified machines", rows)
+        data["groups"][label] = {
+            "machines": len(group),
+            "faults": total,
+            "output_coverage": out_cov,
+            "transfer_coverage": xfer_det / max(1, xfer_all),
+        }
+    emit(
+        "THM1: tour completeness, certified vs uncertified machines", rows,
+        name="theorem1_population", data=data,
+    )
 
     # Theorem 1: every certified machine reaches exactly 100%.
     for _idx, _n, _k, campaign in certified:

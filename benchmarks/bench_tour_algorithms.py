@@ -34,6 +34,7 @@ def test_tour_quality_table(benchmark):
         f"{'states':>7} {'transitions':>12} {'optimal':>9} "
         f"{'greedy':>8} {'overhead':>9} {'rand cov @opt len':>18}"
     ]
+    data = {"sizes": {}}
     for n in SIZES:
         m = build(99, n)
         optimal = optimal_tour_length(m)
@@ -44,7 +45,17 @@ def test_tour_quality_table(benchmark):
             f"{n:>7} {m.num_transitions():>12} {optimal:>9} "
             f"{greedy:>8} {greedy / optimal:>8.2f}x {rand_cov:>17.1%}"
         )
-    emit("TOUR: optimal vs greedy vs random", rows)
+        data["sizes"][str(n)] = {
+            "transitions": m.num_transitions(),
+            "optimal": optimal,
+            "greedy": greedy,
+            "overhead": greedy / optimal,
+            "random_coverage_at_optimal_length": rand_cov,
+        }
+    emit(
+        "TOUR: optimal vs greedy vs random", rows,
+        name="tour_quality", data=data,
+    )
     m = build(99, SIZES[-1])
     optimal = benchmark(lambda: optimal_tour_length(m))
     assert optimal <= len(transition_tour(m, method="greedy"))
@@ -81,6 +92,13 @@ def test_greedy_scales_to_dlx_model(benchmark, mem_model):
             f"tour: {len(tour):,} steps, {ratio:.2f}x transitions "
             f"(paper non-optimal tour: 8.7x)",
         ],
+        name="tour_dlx_scale",
+        data={
+            "tour_steps": len(tour),
+            "transitions": machine.num_transitions(),
+            "ratio": ratio,
+            "generation_seconds": benchmark.stats.stats.mean,
+        },
     )
     assert tour.covers_transitions(machine)
     assert ratio < 8.7

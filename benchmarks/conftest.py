@@ -9,6 +9,9 @@ Run the suite with ``pytest benchmarks/ --benchmark-only -s`` to see
 the reproduced tables/figures printed alongside the timings.
 """
 
+import json
+import os
+
 import pytest
 
 from repro.dlx.isa import Op
@@ -62,10 +65,26 @@ def alt_test(alt_model, alt_tour):
     return fill_inputs(alt_model.concrete_vectors(alt_tour.inputs))
 
 
-def emit(title, lines):
-    """Print a reproduced table with a recognizable banner."""
+def emit(title, lines, name=None, data=None):
+    """Print a reproduced table with a recognizable banner.
+
+    When ``name`` is given, the machine-readable ``data`` dict
+    (timings, key counts -- whatever the benchmark measured) is also
+    written to ``BENCH_<name>.json`` so the perf trajectory
+    accumulates across runs.  The output directory defaults to the
+    current working directory; set ``BENCH_JSON_DIR`` to redirect
+    (e.g. a CI artifacts folder).
+    """
     print()
     print(f"==== {title} " + "=" * max(1, 60 - len(title)))
     for line in lines:
         print(line)
     print("=" * 66)
+    if name is not None:
+        out_dir = os.environ.get("BENCH_JSON_DIR", ".")
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"BENCH_{name}.json")
+        payload = {"bench": name, "title": title, "data": data or {}}
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")

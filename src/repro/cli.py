@@ -8,16 +8,27 @@
     python -m repro validate ASM_FILE     # co-simulate a DLX program
     python -m repro catalog               # the design-error catalog
     python -m repro campaign TARGET       # parallel fault campaign
+    python -m repro report METRICS.json   # render a saved metrics file
 
 Each subcommand prints a self-contained report; exit status is
-non-zero when a validation fails.
+non-zero when a validation fails or a campaign leaves coverage
+incomplete.
+
+The ``tour``, ``validate`` and ``campaign`` subcommands accept
+``--trace FILE`` (span trace; ``.jsonl`` for raw records, anything
+else for Chrome ``trace_event`` JSON loadable in ``chrome://tracing``
+/ Perfetto) and ``--metrics FILE`` (the metrics-registry dump that
+``repro report`` renders).  With neither flag the observability layer
+stays a no-op.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from . import models as model_zoo
 
@@ -30,6 +41,61 @@ CANONICAL_MODELS = {
     "counter": model_zoo.counter,
     "shiftreg": model_zoo.shift_register,
 }
+
+
+@contextlib.contextmanager
+def _observability(args: argparse.Namespace) -> Iterator[None]:
+    """Install a live registry/tracer for ``--trace`` / ``--metrics``.
+
+    With neither flag set this is a pure pass-through: the global
+    no-op registry and absent tracer stay installed and instrumented
+    hot paths pay nothing.  Files are written after the command body
+    finishes (even on error), so a failing campaign still leaves its
+    telemetry behind.
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if not trace_path and not metrics_path:
+        yield
+        return
+    from .obs import (
+        MetricsRegistry,
+        Tracer,
+        install_registry,
+        install_tracer,
+    )
+
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    previous_registry = install_registry(registry)
+    previous_tracer = install_tracer(tracer)
+    try:
+        yield
+    finally:
+        install_registry(previous_registry)
+        install_tracer(previous_tracer)
+        if metrics_path:
+            with open(metrics_path, "w") as handle:
+                json.dump(registry.dump(), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+        if trace_path:
+            tracer.write(trace_path)
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a span trace (.jsonl for raw records, otherwise "
+        "Chrome trace_event JSON for chrome://tracing / Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write the metrics-registry dump as JSON "
+        "(render with `repro report FILE`)",
+    )
 
 
 def cmd_fig3b(_args: argparse.Namespace) -> int:
@@ -83,14 +149,25 @@ def cmd_tour(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    machine = builder()
-    tour = transition_tour(machine, method=args.method)
-    print(f"model: {machine}")
-    print(f"{args.method} tour: {len(tour)} inputs")
-    if args.show:
-        print(" ".join(map(str, tour.inputs)))
-    if args.campaign:
-        print(run_campaign(machine, tour.inputs))
+    with _observability(args):
+        machine = builder()
+        tour = transition_tour(machine, method=args.method)
+        from .obs import get_registry, replay_with_telemetry
+
+        if get_registry().enabled and not args.campaign:
+            # The campaign path replays the tour itself; otherwise
+            # stream visit counts / first-visit steps here.
+            replay_with_telemetry(
+                machine,
+                tour.inputs,
+                snapshot_every=max(1, len(tour) // 10),
+            )
+        print(f"model: {machine}")
+        print(f"{args.method} tour: {len(tour)} inputs")
+        if args.show:
+            print(" ".join(map(str, tour.inputs)))
+        if args.campaign:
+            print(run_campaign(machine, tour.inputs))
     return 0
 
 
@@ -110,8 +187,9 @@ def cmd_validate(args: argparse.Namespace) -> int:
             print(f"unknown bug {args.bug!r}", file=sys.stderr)
             return 2
         bugs = entry.bugs
-    result = validate(program, bugs=bugs)
-    print(result)
+    with _observability(args):
+        result = validate(program, bugs=bugs)
+        print(result)
     return 0 if result.passed else 1
 
 
@@ -121,13 +199,18 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         from .validation import run_bug_campaign
 
         tests = [(list(p), None, None) for p in DIRECTED_PROGRAMS.values()]
-        campaign = run_bug_campaign(
-            tests,
-            test_name=f"directed programs (jobs={args.jobs})",
-            jobs=args.jobs,
-            timeout=args.timeout,
-        )
-        print(campaign)
+        with _observability(args):
+            campaign = run_bug_campaign(
+                tests,
+                test_name=f"directed programs (jobs={args.jobs})",
+                jobs=args.jobs,
+                timeout=args.timeout,
+            )
+            if args.json:
+                print(json.dumps(campaign.to_json_dict(), indent=2,
+                                 sort_keys=True))
+            else:
+                print(campaign)
         return 0 if campaign.coverage == 1.0 else 1
     from .faults import run_campaign
     from .tour import transition_tour
@@ -140,15 +223,36 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    machine = builder()
-    tour = transition_tour(machine, method=args.method)
-    print(f"model: {machine}")
-    print(f"{args.method} tour: {len(tour)} inputs, jobs={args.jobs}")
-    print(
-        run_campaign(
+    with _observability(args):
+        machine = builder()
+        tour = transition_tour(machine, method=args.method)
+        result = run_campaign(
             machine, tour.inputs, jobs=args.jobs, timeout=args.timeout
         )
-    )
+        if args.json:
+            print(json.dumps(result.to_json_dict(), indent=2,
+                             sort_keys=True))
+        else:
+            print(f"model: {machine}")
+            print(
+                f"{args.method} tour: {len(tour)} inputs, "
+                f"jobs={args.jobs}"
+            )
+            print(result)
+    # Like the dlx path: incomplete error coverage is a validation
+    # gap, and the exit status says so.
+    return 0 if result.coverage == 1.0 else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .obs import render_metrics_file
+
+    try:
+        print(render_metrics_file(args.metrics_file), end="")
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot render {args.metrics_file!r}: {exc}",
+              file=sys.stderr)
+        return 2
     return 0
 
 
@@ -198,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="measure error coverage over all single faults",
     )
+    _add_obs_flags(tour)
     tour.set_defaults(func=cmd_tour)
 
     val = sub.add_parser(
@@ -207,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument(
         "--bug", help="inject a catalog bug (see `repro catalog`)"
     )
+    _add_obs_flags(val)
     val.set_defaults(func=cmd_validate)
 
     camp = sub.add_parser(
@@ -235,11 +341,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-fault wall-clock timeout in seconds; a timed-out "
         "mutant is recorded as detected-by-crash",
     )
+    camp.add_argument(
+        "--json",
+        action="store_true",
+        help="print the campaign result as one JSON object "
+        "(coverage, per-class breakdown, undetected fault names)",
+    )
+    _add_obs_flags(camp)
     camp.set_defaults(func=cmd_campaign)
 
     sub.add_parser(
         "catalog", help="list the design-error catalog"
     ).set_defaults(func=cmd_catalog)
+
+    report = sub.add_parser(
+        "report",
+        help="render a --metrics FILE dump as a summary table",
+    )
+    report.add_argument("metrics_file", help="JSON file from --metrics")
+    report.set_defaults(func=cmd_report)
     return parser
 
 

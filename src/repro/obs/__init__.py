@@ -1,0 +1,80 @@
+"""Observability: metrics, span tracing and live coverage telemetry.
+
+A dependency-free instrumentation layer for the validation runner.
+Three pieces, all zero-cost when disabled (the default):
+
+* :mod:`repro.obs.metrics` -- a process-global
+  :class:`MetricsRegistry` of counters, gauges and fixed-bucket
+  histograms.  ``get_registry()`` returns a shared no-op registry
+  until a live one is installed (``scoped_registry()`` for tests,
+  the CLI's ``--metrics FILE`` for runs).
+* :mod:`repro.obs.trace` -- ``span("campaign.run", ...)`` context
+  managers and instant events, exported as JSONL or Chrome
+  ``trace_event`` JSON (``chrome://tracing`` / Perfetto).
+* :mod:`repro.obs.telemetry` -- :class:`CoverageTelemetry`, the
+  instrumented replay hook streaming per-transition visit counts,
+  first-visit steps and incremental coverage snapshots.
+
+The differential contract: instrumentation never changes campaign
+results, and every metric outside the ``*_seconds`` / ``parallel.*``
+/ ``cache.*`` namespaces is byte-identical at any ``jobs`` setting
+(see :meth:`MetricsRegistry.deterministic_dump`).
+"""
+
+from .metrics import (
+    NULL_REGISTRY,
+    SECONDS_BUCKETS,
+    STEP_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    install_registry,
+    scoped_registry,
+)
+from .report import load_metrics, render_metrics, render_metrics_file
+from .telemetry import (
+    CoverageTelemetry,
+    record_detection_latencies,
+    replay_with_telemetry,
+)
+from .trace import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    event,
+    get_tracer,
+    install_tracer,
+    scoped_tracer,
+    span,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "NULL_REGISTRY",
+    "SECONDS_BUCKETS",
+    "STEP_BUCKETS",
+    "Counter",
+    "CoverageTelemetry",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Span",
+    "Tracer",
+    "event",
+    "get_registry",
+    "get_tracer",
+    "install_registry",
+    "install_tracer",
+    "load_metrics",
+    "record_detection_latencies",
+    "render_metrics",
+    "render_metrics_file",
+    "replay_with_telemetry",
+    "scoped_registry",
+    "scoped_tracer",
+    "span",
+]

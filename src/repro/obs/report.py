@@ -1,0 +1,106 @@
+"""Human-readable rendering of a saved metrics dump.
+
+``repro report METRICS.json`` loads a file written by
+``--metrics FILE`` (the sorted dump of a
+:class:`repro.obs.metrics.MetricsRegistry`) and renders it as aligned
+text tables: counters, gauges, then histograms with count / mean /
+approximate p50/p90 read off the fixed buckets.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+
+def load_metrics(path: str) -> Dict[str, Any]:
+    """Load a metrics dump written by the CLI's ``--metrics FILE``."""
+    with open(path) as handle:
+        dump = json.load(handle)
+    for section in ("counters", "gauges", "histograms"):
+        dump.setdefault(section, {})
+    return dump
+
+
+def _quantile(boundaries: List[float], counts: List[int], q: float) -> str:
+    """Approximate quantile from fixed buckets (upper-edge estimate)."""
+    total = sum(counts)
+    if not total:
+        return "-"
+    rank = q * total
+    seen = 0
+    for i, count in enumerate(counts):
+        seen += count
+        if seen >= rank:
+            if i < len(boundaries):
+                return f"<={boundaries[i]:g}"
+            return f">{boundaries[-1]:g}" if boundaries else "inf"
+    return f">{boundaries[-1]:g}" if boundaries else "inf"
+
+
+def _fmt_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def render_metrics(dump: Dict[str, Any]) -> str:
+    """Render a metrics dump as a text report."""
+    lines: List[str] = []
+    counters = dump.get("counters", {})
+    gauges = dump.get("gauges", {})
+    histograms = dump.get("histograms", {})
+
+    def section(title: str) -> None:
+        lines.append(title)
+        lines.append("-" * len(title))
+
+    if counters:
+        section("counters")
+        width = max(len(k) for k in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]}")
+        lines.append("")
+    if gauges:
+        section("gauges")
+        width = max(len(k) for k in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}}  {_fmt_value(gauges[name])}")
+        lines.append("")
+    if histograms:
+        section("histograms")
+        width = max(len(k) for k in histograms)
+        header = (
+            f"  {'name':<{width}}  {'count':>7} {'mean':>10} "
+            f"{'p50':>9} {'p90':>9} {'max bucket':>11}"
+        )
+        lines.append(header)
+        for name in sorted(histograms):
+            h = histograms[name]
+            boundaries = list(h.get("boundaries", []))
+            counts = list(h.get("counts", []))
+            count = h.get("count", 0)
+            mean = (h.get("sum", 0.0) / count) if count else 0.0
+            top = "-"
+            for i in range(len(counts) - 1, -1, -1):
+                if counts[i]:
+                    top = (
+                        f"<={boundaries[i]:g}"
+                        if i < len(boundaries)
+                        else f">{boundaries[-1]:g}"
+                    )
+                    break
+            lines.append(
+                f"  {name:<{width}}  {count:>7} {mean:>10.3f} "
+                f"{_quantile(boundaries, counts, 0.5):>9} "
+                f"{_quantile(boundaries, counts, 0.9):>9} {top:>11}"
+            )
+        lines.append("")
+    if not (counters or gauges or histograms):
+        lines.append("(empty metrics dump)")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_metrics_file(path: str) -> str:
+    """Load and render a saved metrics file."""
+    return render_metrics(load_metrics(path))

@@ -19,6 +19,8 @@ from __future__ import annotations
 import hashlib
 from typing import Any, Dict, Hashable, Iterable, Optional, Sequence
 
+from ..obs import get_registry
+
 
 def _digest(parts: Iterable[str]) -> str:
     h = hashlib.sha256()
@@ -74,8 +76,10 @@ class CampaignCache:
         value = self._data.get(key, self.MISSING)
         if value is self.MISSING:
             self.misses += 1
+            get_registry().counter("cache.misses_total").inc()
         else:
             self.hits += 1
+            get_registry().counter("cache.hits_total").inc()
         return value
 
     def store(self, key: Hashable, value: Any) -> None:

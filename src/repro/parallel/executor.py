@@ -26,9 +26,12 @@ import os
 import pickle
 import signal
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import SECONDS_BUCKETS, get_registry, span
 
 
 class TaskTimeout(Exception):
@@ -42,7 +45,9 @@ class TaskOutcome:
     Exactly one of the following holds: ``ok`` (``value`` is valid),
     ``timed_out`` (the task hit the wall-clock limit), or ``error``
     is a non-None ``"ExcType: message"`` string (the task raised and
-    exhausted its retries).
+    exhausted its retries).  ``elapsed`` is the task's wall-clock time
+    (summed over attempts) and ``worker`` the pid of the process that
+    ran it -- telemetry that rides back across the process boundary.
     """
 
     index: int
@@ -50,6 +55,8 @@ class TaskOutcome:
     error: Optional[str] = None
     timed_out: bool = False
     attempts: int = 1
+    elapsed: float = 0.0
+    worker: int = 0
 
     @property
     def ok(self) -> bool:
@@ -94,8 +101,8 @@ def _call_bounded(
 
 
 # A chunk record travelling back from a worker:
-# (index, value, error, timed_out, attempts).
-_Record = Tuple[int, Any, Optional[str], bool, int]
+# (index, value, error, timed_out, attempts, elapsed, worker_pid).
+_Record = Tuple[int, Any, Optional[str], bool, int, float, int]
 
 
 def _run_one(
@@ -108,14 +115,18 @@ def _run_one(
 ) -> _Record:
     args = (item,) if shared is None else (shared, item)
     attempts = 0
+    pid = os.getpid()
+    started = time.perf_counter()
     while True:
         attempts += 1
         try:
-            return (index, _call_bounded(fn, args, timeout), None, False,
-                    attempts)
+            value = _call_bounded(fn, args, timeout)
+            return (index, value, None, False, attempts,
+                    time.perf_counter() - started, pid)
         except TaskTimeout:
             # A livelocked task will time out again; never retry it.
-            return (index, None, None, True, attempts)
+            return (index, None, None, True, attempts,
+                    time.perf_counter() - started, pid)
         except Exception as exc:  # noqa: BLE001 - reported to the caller
             if attempts > retries:
                 return (
@@ -124,6 +135,8 @@ def _run_one(
                     f"{type(exc).__name__}: {exc}",
                     False,
                     attempts,
+                    time.perf_counter() - started,
+                    pid,
                 )
 
 
@@ -173,10 +186,15 @@ def parallel_map(
         return []
     jobs = max(1, int(jobs))
     if jobs == 1 or len(work) == 1 or not _picklable((fn, shared)):
-        return [
-            TaskOutcome(*_run_one(fn, shared, i, item, timeout, retries))
-            for i, item in enumerate(work)
-        ]
+        with span("parallel.map", items=len(work), jobs=1, mode="serial"):
+            outcomes = [
+                TaskOutcome(
+                    *_run_one(fn, shared, i, item, timeout, retries)
+                )
+                for i, item in enumerate(work)
+            ]
+        _record_pool_metrics(outcomes, jobs=1)
+        return outcomes
 
     if chunk_size is None:
         # Several chunks per worker so an unbalanced chunk cannot
@@ -188,28 +206,77 @@ def parallel_map(
     ]
 
     records: Dict[int, _Record] = {}
-    try:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(chunks))
-        ) as pool:
-            futures = {
-                pool.submit(_run_chunk, fn, shared, chunk, timeout, retries):
-                chunk
-                for chunk in chunks
-            }
-            for future in as_completed(futures):
-                try:
-                    for record in future.result():
-                        records[record[0]] = record
-                except Exception:  # noqa: BLE001 - re-run chunk locally
-                    continue
-    except Exception:  # noqa: BLE001 - pool itself failed; fall back
-        pass
+    fallback = 0
+    with span(
+        "parallel.map",
+        items=len(work),
+        jobs=jobs,
+        chunks=len(chunks),
+        chunk_size=chunk_size,
+        mode="pool",
+    ):
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(chunks))
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _run_chunk, fn, shared, chunk, timeout, retries
+                    ): chunk
+                    for chunk in chunks
+                }
+                for future in as_completed(futures):
+                    try:
+                        for record in future.result():
+                            records[record[0]] = record
+                    except Exception:  # noqa: BLE001 - re-run locally
+                        continue
+        except Exception:  # noqa: BLE001 - pool itself failed; fall back
+            pass
 
-    # Whatever the pool did not deliver, compute locally (deterministic
-    # fallback -- same fn, same items, same order).
-    for index, item in pairs:
-        if index not in records:
-            records[index] = _run_one(fn, shared, index, item, timeout,
-                                      retries)
-    return [TaskOutcome(*records[index]) for index in range(len(work))]
+        # Whatever the pool did not deliver, compute locally
+        # (deterministic fallback -- same fn, same items, same order).
+        for index, item in pairs:
+            if index not in records:
+                fallback += 1
+                records[index] = _run_one(fn, shared, index, item,
+                                          timeout, retries)
+    outcomes = [TaskOutcome(*records[index]) for index in range(len(work))]
+    _record_pool_metrics(outcomes, jobs=jobs, fallback=fallback)
+    return outcomes
+
+
+def _record_pool_metrics(
+    outcomes: Sequence[TaskOutcome], jobs: int, fallback: int = 0
+) -> None:
+    """Fold one map's outcomes into the registry (no-op when disabled).
+
+    Worker pids are remapped to stable ``w0..wN`` labels in
+    first-appearance order so dumps stay readable; everything here
+    lives in the ``parallel.*`` namespace, which the deterministic
+    dump excludes (task placement is scheduling-dependent).
+    """
+    reg = get_registry()
+    if not reg.enabled:
+        return
+    reg.counter("parallel.maps_total").inc()
+    reg.counter("parallel.tasks_total").inc(len(outcomes))
+    reg.gauge("parallel.jobs").set(jobs)
+    if fallback:
+        reg.counter("parallel.fallback_tasks_total").inc(fallback)
+    worker_labels: Dict[int, str] = {}
+    task_seconds = reg.histogram(
+        "parallel.task_seconds", buckets=SECONDS_BUCKETS
+    )
+    for outcome in outcomes:
+        task_seconds.observe(outcome.elapsed)
+        if outcome.timed_out:
+            reg.counter("parallel.timeouts_total").inc()
+        if outcome.error is not None:
+            reg.counter("parallel.errors_total").inc()
+        if outcome.attempts > 1:
+            reg.counter("parallel.retries_total").inc(outcome.attempts - 1)
+        label = worker_labels.setdefault(
+            outcome.worker, f"w{len(worker_labels)}"
+        )
+        reg.counter("parallel.worker_tasks", worker=label).inc()

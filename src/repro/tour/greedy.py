@@ -19,6 +19,7 @@ from collections import deque
 from typing import Dict, List, Optional, Set
 
 from ..core.mealy import MealyMachine, State, Transition
+from ..obs import get_registry, span
 from .postman import PostmanError
 
 
@@ -45,6 +46,10 @@ def _compute_next_hop_field(
                 seen.add(t.src)
                 field[t.src] = t
                 work.append(t.src)
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("tour.greedy.field_rebuilds").inc()
+        reg.counter("tour.greedy.field_states_expanded").inc(len(seen))
     return field
 
 
@@ -92,43 +97,53 @@ def greedy_transition_transitions(
     for lst in rev_adj.values():
         lst.sort(key=repr)
 
+    reg = get_registry()
+    c_covered = reg.counter("tour.greedy.edges_covered")
+    c_detour = reg.counter("tour.greedy.detour_steps")
+    g_remaining = reg.gauge("tour.greedy.edges_remaining")
     tour: List[Transition] = []
     state = root
     remaining = total
     field: Optional[Dict[State, Transition]] = None
-    while remaining:
-        bucket = uncovered.get(state)
-        if bucket:
-            t = bucket.pop()
-            if not bucket:
-                del uncovered[state]
-            remaining -= 1
-            tour.append(t)
-            state = t.dst
-            continue
-        # Stuck: walk the next-hop field toward the nearest state with
-        # uncovered work, rebuilding it when it has gone stale.
-        if field is None or (state not in field):
-            field = _compute_next_hop_field(uncovered.keys(), rev_adj)
-            if state not in field and state not in uncovered:
-                raise PostmanError(
-                    f"{machine.name}: state {state!r} cannot reach the "
-                    f"{remaining} uncovered transitions; "
-                    f"machine is not strongly connected"
-                )
-        while state not in uncovered:
-            hop = field.get(state)
-            if hop is None:
-                # Arrived at a stale (exhausted) source: rebuild.
+    with span("tour.greedy", model=machine.name, transitions=total):
+        while remaining:
+            g_remaining.set(remaining)
+            bucket = uncovered.get(state)
+            if bucket:
+                t = bucket.pop()
+                if not bucket:
+                    del uncovered[state]
+                remaining -= 1
+                c_covered.inc()
+                tour.append(t)
+                state = t.dst
+                continue
+            # Stuck: walk the next-hop field toward the nearest state
+            # with uncovered work, rebuilding it when it has gone stale.
+            if field is None or (state not in field):
                 field = _compute_next_hop_field(uncovered.keys(), rev_adj)
-                hop = field.get(state)
-                if hop is None:
+                if state not in field and state not in uncovered:
                     raise PostmanError(
                         f"{machine.name}: state {state!r} cannot reach "
-                        f"the {remaining} uncovered transitions"
+                        f"the {remaining} uncovered transitions; "
+                        f"machine is not strongly connected"
                     )
-            tour.append(hop)
-            state = hop.dst
+            while state not in uncovered:
+                hop = field.get(state)
+                if hop is None:
+                    # Arrived at a stale (exhausted) source: rebuild.
+                    field = _compute_next_hop_field(
+                        uncovered.keys(), rev_adj
+                    )
+                    hop = field.get(state)
+                    if hop is None:
+                        raise PostmanError(
+                            f"{machine.name}: state {state!r} cannot "
+                            f"reach the {remaining} uncovered transitions"
+                        )
+                tour.append(hop)
+                c_detour.inc()
+                state = hop.dst
     if close_tour and state != root:
         back = _path_between(reachable, state, root)
         tour.extend(back)

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.coverage import is_state_tour, is_transition_tour
 from ..core.mealy import Input, MealyMachine, State, Transition
+from ..obs import get_registry, span
 from .greedy import (
     _path_between,
     greedy_transition_transitions,
@@ -78,13 +79,20 @@ def _from_transitions(
     start: State,
     transitions: Sequence[Transition],
 ) -> Tour:
-    return Tour(
+    tour = Tour(
         machine_name=machine.name,
         method=method,
         start=start,
         inputs=tuple(t.inp for t in transitions),
         transitions=tuple(transitions),
     )
+    reg = get_registry()
+    if reg.enabled:
+        reg.gauge(
+            "tour.length", model=machine.name, method=method
+        ).set(len(tour))
+        reg.counter("tour.generated_total", method=method).inc()
+    return tour
 
 
 def transition_tour(
@@ -105,12 +113,16 @@ def transition_tour(
     and, for both methods, ends back there.
     """
     root = machine.initial if start is None else start
-    if method == "cpp":
-        trans = chinese_postman_transitions(machine, start=root)
-    elif method == "greedy":
-        trans = greedy_transition_transitions(machine, start=root)
-    else:
-        raise ValueError(f"unknown tour method {method!r}")
+    with span(
+        "tour.generate", model=machine.name, method=method
+    ) as sp:
+        if method == "cpp":
+            trans = chinese_postman_transitions(machine, start=root)
+        elif method == "greedy":
+            trans = greedy_transition_transitions(machine, start=root)
+        else:
+            raise ValueError(f"unknown tour method {method!r}")
+        sp.set(length=len(trans))
     return _from_transitions(machine, method, root, trans)
 
 
@@ -129,20 +141,22 @@ def state_tour(
     unvisited = set(reachable.states) - {root}
     state = root
     walk: List[Transition] = []
-    while unvisited:
-        target = min(unvisited, key=repr)
-        # Walk to the nearest unvisited state (any of them): BFS from
-        # the current state until an unvisited state is hit.
-        path = _path_to_any(reachable, state, unvisited)
-        if path is None:
-            raise PostmanError(
-                f"{machine.name}: states {sorted(unvisited, key=repr)} "
-                f"unreachable from {state!r}"
-            )
-        for t in path:
-            walk.append(t)
-            state = t.dst
-            unvisited.discard(state)
+    with span("tour.generate", model=machine.name, method="state"):
+        while unvisited:
+            target = min(unvisited, key=repr)
+            # Walk to the nearest unvisited state (any of them): BFS
+            # from the current state until an unvisited state is hit.
+            path = _path_to_any(reachable, state, unvisited)
+            if path is None:
+                raise PostmanError(
+                    f"{machine.name}: states "
+                    f"{sorted(unvisited, key=repr)} "
+                    f"unreachable from {state!r}"
+                )
+            for t in path:
+                walk.append(t)
+                state = t.dst
+                unvisited.discard(state)
     return _from_transitions(machine, "state", root, walk)
 
 

@@ -17,6 +17,7 @@ from ..dlx.behavioral import BehavioralDLX, Checkpoint, ExecutionError
 from ..dlx.buggy import BUG_CATALOG, BugEntry
 from ..dlx.isa import Instruction
 from ..dlx.pipeline import PipelineBugs, PipelinedDLX
+from ..obs import STEP_BUCKETS, get_registry, span
 from ..parallel import (
     CampaignCache,
     battery_fingerprint,
@@ -49,10 +50,12 @@ def expected_stream(
     share it across every catalog entry instead of re-simulating it
     per mutant.
     """
-    spec = BehavioralDLX(
-        program, dict(data) if data else None, branch_oracle=branch_oracle
-    )
-    return spec.run(max_steps=max(200_000, 2 * len(program)))
+    with span("validate.spec_run", program=len(program)):
+        spec = BehavioralDLX(
+            program, dict(data) if data else None,
+            branch_oracle=branch_oracle,
+        )
+        return spec.run(max_steps=max(200_000, 2 * len(program)))
 
 
 def _co_simulate(
@@ -106,10 +109,20 @@ def validate(
     counts as a mismatch of field "crash".  ``max_cycles`` defaults to
     a generous multiple of the program length.
     """
-    expected = expected_stream(program, data, branch_oracle)
-    return _co_simulate(
-        program, data, bugs, branch_oracle, max_cycles, expected
-    )
+    with span(
+        "validate.cosim", program=len(program), buggy=bugs is not None
+    ):
+        expected = expected_stream(program, data, branch_oracle)
+        result = _co_simulate(
+            program, data, bugs, branch_oracle, max_cycles, expected
+        )
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter(
+            "validate.runs_total",
+            outcome="pass" if result.passed else "fail",
+        ).inc()
+    return result
 
 
 def validate_concrete_test(
@@ -175,65 +188,103 @@ def run_bug_campaign(
     the full ``max_cycles`` bound.  ``cache`` memoizes rows by
     (catalog entry, test battery).
     """
-    prepared = tuple(
-        (
-            tuple(program),
-            tuple(sorted(data.items())) if data else None,
-            tuple(oracle) if oracle is not None else None,
-            tuple(expected_stream(list(program), data, oracle)),
-        )
-        for program, data, oracle in tests
-    )
-    rows_by_index: Dict[int, BugCampaignRow] = {}
-    keys: List[Optional[Tuple]] = [None] * len(catalog)
-    if cache is not None:
-        bfp = battery_fingerprint(
-            [(p, dict(d) if d else None, o) for p, d, o, _e in prepared]
-        )
-        for i, entry in enumerate(catalog):
-            keys[i] = ("dlx", bfp, entry.name, entry.bugs)
-            hit = cache.lookup(keys[i])
-            if hit is not CampaignCache.MISSING:
-                rows_by_index[i] = hit
-    pending = [i for i in range(len(catalog)) if i not in rows_by_index]
-    if pending:
-        outcomes = parallel_map(
-            _bug_entry_task,
-            [catalog[i] for i in pending],
-            shared=prepared,
-            jobs=jobs,
-            timeout=timeout,
-            retries=retries,
-        )
-        for i, outcome in zip(pending, outcomes):
-            entry = catalog[i]
-            if outcome.error is not None:
-                raise BugCampaignError(
-                    f"catalog bug {entry.name!r} failed to simulate: "
-                    f"{outcome.error}"
-                )
-            if outcome.timed_out:
-                # The correct design always halts well inside the
-                # budget, so a timed-out mutant has visibly diverged:
-                # detected by crash, same as a livelock that exhausts
-                # max_cycles -- just without the wait.
-                detected, mismatch = True, Mismatch(
-                    0, "crash", "halt",
-                    f"per-fault timeout: exceeded {timeout:g}s wall clock",
-                )
-            else:
-                detected, mismatch = outcome.value
-            row = BugCampaignRow(
-                bug_name=entry.name,
-                mechanism=entry.mechanism,
-                detected=detected,
-                mismatch=mismatch,
+    with span(
+        "bugcampaign.run",
+        test_name=test_name,
+        tests=len(tests),
+        catalog=len(catalog),
+        jobs=jobs,
+    ):
+        prepared = tuple(
+            (
+                tuple(program),
+                tuple(sorted(data.items())) if data else None,
+                tuple(oracle) if oracle is not None else None,
+                tuple(expected_stream(list(program), data, oracle)),
             )
-            rows_by_index[i] = row
-            if cache is not None and not outcome.timed_out:
-                cache.store(keys[i], row)
-    rows = tuple(rows_by_index[i] for i in range(len(catalog)))
-    return BugCampaignResult(test_name=test_name, rows=rows)
+            for program, data, oracle in tests
+        )
+        rows_by_index: Dict[int, BugCampaignRow] = {}
+        keys: List[Optional[Tuple]] = [None] * len(catalog)
+        if cache is not None:
+            bfp = battery_fingerprint(
+                [(p, dict(d) if d else None, o) for p, d, o, _e in prepared]
+            )
+            for i, entry in enumerate(catalog):
+                keys[i] = ("dlx", bfp, entry.name, entry.bugs)
+                hit = cache.lookup(keys[i])
+                if hit is not CampaignCache.MISSING:
+                    rows_by_index[i] = hit
+        pending = [i for i in range(len(catalog)) if i not in rows_by_index]
+        if pending:
+            outcomes = parallel_map(
+                _bug_entry_task,
+                [catalog[i] for i in pending],
+                shared=prepared,
+                jobs=jobs,
+                timeout=timeout,
+                retries=retries,
+            )
+            for i, outcome in zip(pending, outcomes):
+                entry = catalog[i]
+                if outcome.error is not None:
+                    raise BugCampaignError(
+                        f"catalog bug {entry.name!r} failed to simulate: "
+                        f"{outcome.error}"
+                    )
+                if outcome.timed_out:
+                    # The correct design always halts well inside the
+                    # budget, so a timed-out mutant has visibly
+                    # diverged: detected by crash, same as a livelock
+                    # that exhausts max_cycles -- just without the wait.
+                    detected, mismatch = True, Mismatch(
+                        0, "crash", "halt",
+                        f"per-fault timeout: exceeded {timeout:g}s "
+                        f"wall clock",
+                    )
+                else:
+                    detected, mismatch = outcome.value
+                row = BugCampaignRow(
+                    bug_name=entry.name,
+                    mechanism=entry.mechanism,
+                    detected=detected,
+                    mismatch=mismatch,
+                )
+                rows_by_index[i] = row
+                if cache is not None and not outcome.timed_out:
+                    cache.store(keys[i], row)
+        rows = tuple(rows_by_index[i] for i in range(len(catalog)))
+        result = BugCampaignResult(test_name=test_name, rows=rows)
+        _record_bug_campaign_metrics(result)
+    return result
+
+
+def _record_bug_campaign_metrics(result: BugCampaignResult) -> None:
+    """Fold a finished bug campaign into the metrics registry.
+
+    Computed in the parent from the assembled (order-stable) rows, so
+    every aggregate is byte-identical at any ``jobs`` setting.  The
+    mismatch-index histogram is the DLX analogue of the FSM detection
+    latency: how many retirements a bug incubates before the Figure 1
+    comparison catches it.
+    """
+    reg = get_registry()
+    if not reg.enabled:
+        return
+    for row in result.rows:
+        reg.counter(
+            "bugcampaign.bugs",
+            mechanism=row.mechanism,
+            outcome="detected" if row.detected else "escaped",
+        ).inc()
+    reg.gauge("bugcampaign.coverage").set(round(result.coverage, 6))
+    reg.gauge("bugcampaign.catalog_size").set(len(result.rows))
+    latency = reg.histogram(
+        "bugcampaign.mismatch_index", buckets=STEP_BUCKETS
+    )
+    for row in result.rows:
+        if row.detected and row.mismatch is not None:
+            latency.observe(row.mismatch.index)
 
 
 def campaign_from_concrete_test(

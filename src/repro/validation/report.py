@@ -111,6 +111,30 @@ class BugCampaignResult:
             entry["detected" if row.detected else "escaped"] += 1
         return stats
 
+    def to_json_dict(self) -> dict:
+        """The campaign as one JSON-serializable object (for
+        ``repro campaign --json`` and scripting)."""
+        return {
+            "test_name": self.test_name,
+            "total": len(self.rows),
+            "detected": len(self.detected),
+            "escaped": len(self.escaped),
+            "coverage": self.coverage,
+            "by_mechanism": self.by_mechanism(),
+            "undetected": [r.bug_name for r in self.escaped],
+            "rows": [
+                {
+                    "bug": r.bug_name,
+                    "mechanism": r.mechanism,
+                    "detected": r.detected,
+                    "mismatch": (
+                        str(r.mismatch) if r.mismatch is not None else None
+                    ),
+                }
+                for r in self.rows
+            ],
+        }
+
     def __str__(self) -> str:
         lines = [
             f"{self.test_name}: {len(self.detected)}/{len(self.rows)} "

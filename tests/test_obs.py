@@ -1,0 +1,339 @@
+"""Tests for the observability layer (repro.obs).
+
+Covers the ISSUE acceptance points for the instrumentation subsystem:
+histogram bucket determinism, span nesting and Chrome-trace schema
+validity, zero-cost-when-disabled behaviour, coverage telemetry, and
+the differential guarantee that metrics aggregates are identical for
+``jobs=1`` vs ``jobs=4``.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.faults import run_campaign
+from repro.models import counter, vending_machine
+from repro.obs import (
+    NULL_REGISTRY,
+    STEP_BUCKETS,
+    CoverageTelemetry,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    get_tracer,
+    record_detection_latencies,
+    replay_with_telemetry,
+    scoped_registry,
+    scoped_tracer,
+    span,
+)
+from repro.obs.trace import NOOP_SPAN
+from repro.tour import transition_tour
+
+
+class TestHistogram:
+    def test_fixed_boundaries_are_deterministic(self):
+        h = Histogram("h", boundaries=(1, 2, 4))
+        assert h.dump()["boundaries"] == [1, 2, 4]
+        assert h.dump()["counts"] == [0, 0, 0, 0]
+
+    def test_upper_inclusive_bucketing(self):
+        h = Histogram("h", boundaries=(1, 2, 4))
+        for v in (0, 1, 2, 3, 4, 5):
+            h.observe(v)
+        # 0,1 -> bucket <=1; 2 -> <=2; 3,4 -> <=4; 5 -> overflow.
+        assert h.dump()["counts"] == [2, 1, 2, 1]
+        assert h.count == 6
+        assert h.dump()["sum"] == 15
+
+    def test_dump_is_order_independent(self):
+        values = list(range(50)) * 3
+        shuffled = list(values)
+        random.Random(7).shuffle(shuffled)
+        a = Histogram("a", boundaries=STEP_BUCKETS)
+        b = Histogram("b", boundaries=STEP_BUCKETS)
+        for v in values:
+            a.observe(v)
+        for v in shuffled:
+            b.observe(v)
+        assert a.dump() == b.dump()
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=(4, 2, 1))
+
+    def test_mean(self):
+        h = Histogram("h", boundaries=(10,))
+        assert h.mean == 0.0
+        h.observe(2)
+        h.observe(4)
+        assert h.mean == 3.0
+
+
+class TestRegistry:
+    def test_metrics_accumulate_and_dump_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("runs_total", outcome="pass").inc()
+        reg.counter("runs_total", outcome="pass").inc()
+        reg.counter("runs_total", outcome="fail").inc()
+        reg.gauge("coverage", model="m").set(0.5)
+        reg.histogram("lat", buckets=(1, 2)).observe(1)
+        dump = reg.dump()
+        assert dump["counters"] == {
+            "runs_total{outcome=fail}": 1,
+            "runs_total{outcome=pass}": 2,
+        }
+        assert dump["gauges"] == {"coverage{model=m}": 0.5}
+        assert list(dump["histograms"]) == ["lat"]
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        reg.counter("c", a=1, b=2).inc()
+        reg.counter("c", b=2, a=1).inc()
+        assert reg.dump()["counters"] == {"c{a=1,b=2}": 2}
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1, 2))
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=(1, 2, 3))
+
+    def test_deterministic_dump_excludes_timing_namespaces(self):
+        reg = MetricsRegistry()
+        reg.counter("campaign.faults_total").inc()
+        reg.counter("parallel.tasks_total").inc()
+        reg.counter("cache.hits_total").inc()
+        reg.histogram("campaign.fault_wall_seconds").observe(0.5)
+        reg.histogram(
+            "campaign.detection_latency_steps", cls="output"
+        ).observe(3)
+        det = reg.deterministic_dump()
+        assert "campaign.faults_total" in det["counters"]
+        assert "parallel.tasks_total" not in det["counters"]
+        assert "cache.hits_total" not in det["counters"]
+        assert "campaign.fault_wall_seconds" not in det["histograms"]
+        assert (
+            "campaign.detection_latency_steps{cls=output}"
+            in det["histograms"]
+        )
+
+    def test_scoped_registry_installs_and_restores(self):
+        before = get_registry()
+        assert not before.enabled
+        with scoped_registry() as reg:
+            assert get_registry() is reg
+            assert reg.enabled
+            get_registry().counter("x").inc()
+            assert reg.dump()["counters"]["x"] == 1
+        assert get_registry() is before
+
+    def test_null_registry_is_zero_cost(self):
+        metric = NULL_REGISTRY.counter("anything", label="ignored")
+        # Same shared no-op object for every metric kind.
+        assert NULL_REGISTRY.gauge("g") is metric
+        assert NULL_REGISTRY.histogram("h") is metric
+        metric.inc()
+        metric.set(3)
+        metric.observe(1.5)  # all no-ops, nothing recorded
+        assert not NULL_REGISTRY.enabled
+
+
+class TestTracing:
+    def test_span_disabled_by_default(self):
+        assert get_tracer() is None
+        assert span("anything", x=1) is NOOP_SPAN
+
+    def test_span_nesting_depths(self):
+        with scoped_tracer() as tracer:
+            with span("outer", model="m"):
+                with span("inner"):
+                    pass
+        names = {r["name"]: r for r in tracer.records}
+        # Inner span completes (and records) first.
+        assert [r["name"] for r in tracer.records] == ["inner", "outer"]
+        assert names["outer"]["depth"] == 0
+        assert names["inner"]["depth"] == 1
+        assert names["outer"]["args"] == {"model": "m"}
+
+    def test_span_records_error_on_exception(self):
+        with scoped_tracer() as tracer:
+            with pytest.raises(RuntimeError):
+                with span("boom"):
+                    raise RuntimeError("nope")
+        (record,) = tracer.records
+        assert record["args"]["error"] == "RuntimeError"
+
+    def test_span_set_attributes(self):
+        with scoped_tracer() as tracer:
+            with span("work") as sp:
+                sp.set(items=3)
+        (record,) = tracer.records
+        assert record["args"]["items"] == 3
+
+    def test_chrome_trace_schema(self, tmp_path):
+        with scoped_tracer() as tracer:
+            with span("outer", model="m"):
+                tracer.event("tick", step=1)
+        path = tmp_path / "trace.json"
+        tracer.write(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == 2
+        for e in events:
+            assert e["ph"] in ("X", "i")
+            assert e["cat"] == "repro"
+            assert isinstance(e["ts"], int) and e["ts"] >= 0
+            assert isinstance(e["pid"], int)
+            assert isinstance(e["tid"], int)
+            assert "depth" not in e  # internal field, not chrome schema
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete[0]["dur"] >= 0
+        instant = [e for e in events if e["ph"] == "i"]
+        assert instant[0]["s"] == "t"
+
+    def test_jsonl_export(self, tmp_path):
+        with scoped_tracer() as tracer:
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write(str(path))
+        records = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line
+        ]
+        assert [r["name"] for r in records] == ["a", "b"]
+
+    def test_span_args_coerced_to_jsonable(self):
+        with scoped_tracer() as tracer:
+            with span("x", machine=vending_machine()):
+                pass
+        (record,) = tracer.records
+        assert isinstance(record["args"]["machine"], str)
+
+
+class TestCoverageTelemetry:
+    def test_visit_counts_and_first_visits(self):
+        machine = vending_machine()
+        tour = transition_tour(machine)
+        telemetry = CoverageTelemetry(machine)
+        telemetry.feed_all(tour.inputs)
+        report = telemetry.snapshot()
+        assert report.complete
+        # Every transition visited at least once; first visits are
+        # 1-based step indices within the tour.
+        assert all(c >= 1 for c in telemetry.visit_counts.values())
+        firsts = sorted(telemetry.first_visit.values())
+        assert firsts[0] >= 1
+        assert firsts[-1] <= len(tour)
+
+    def test_undefined_step_raises(self):
+        machine = counter(2)
+        telemetry = CoverageTelemetry(machine)
+        with pytest.raises(ValueError):
+            telemetry.feed("no-such-input")
+
+    def test_snapshots_and_trace_events(self):
+        machine = vending_machine()
+        tour = transition_tour(machine)
+        with scoped_tracer() as tracer:
+            telemetry = replay_with_telemetry(
+                machine, tour.inputs, snapshot_every=5
+            )
+        assert telemetry.snapshots
+        steps = [s for s, _report in telemetry.snapshots]
+        assert steps == sorted(steps)
+        events = [
+            r for r in tracer.records if r["name"] == "coverage.snapshot"
+        ]
+        assert len(events) == len(telemetry.snapshots)
+        fractions = [e["args"]["fraction"] for e in events]
+        assert fractions == sorted(fractions)  # coverage only grows
+        assert telemetry.snapshot().complete  # final state is full
+
+    def test_finalize_records_metrics(self):
+        machine = vending_machine()
+        tour = transition_tour(machine)
+        with scoped_registry() as reg:
+            replay_with_telemetry(machine, tour.inputs)
+        gauges = reg.dump()["gauges"]
+        assert gauges["coverage.fraction{model=vending}"] == 1
+        total = gauges["coverage.transitions_total{model=vending}"]
+        assert gauges["coverage.transitions_covered{model=vending}"] == total
+        hist = reg.dump()["histograms"][
+            "coverage.visit_count{model=vending}"
+        ]
+        assert hist["count"] == total
+
+    def test_record_detection_latencies(self):
+        with scoped_registry() as reg:
+            record_detection_latencies(
+                {"output": [1, 2, 3], "transfer": [5]}
+            )
+        hists = reg.dump()["histograms"]
+        out = hists["campaign.detection_latency_steps{cls=output}"]
+        assert out["count"] == 3
+        assert out["sum"] == 6
+        xfer = hists["campaign.detection_latency_steps{cls=transfer}"]
+        assert xfer["count"] == 1
+
+
+class TestDifferentialMetrics:
+    """Instrumentation must not perturb the parallel==serial guarantee:
+    campaign results AND deterministic metrics aggregates are identical
+    at any jobs count (ISSUE acceptance criterion, jobs=1 vs jobs=4)."""
+
+    def _campaign_dump(self, jobs):
+        machine = counter(3)
+        tour = transition_tour(machine)
+        with scoped_registry() as reg:
+            result = run_campaign(machine, tour.inputs, jobs=jobs)
+        return result, reg.deterministic_dump()
+
+    def test_jobs1_vs_jobs4_aggregates_identical(self):
+        serial, dump1 = self._campaign_dump(1)
+        parallel, dump4 = self._campaign_dump(4)
+        assert parallel == serial
+        assert json.dumps(dump1, sort_keys=True) == json.dumps(
+            dump4, sort_keys=True
+        )
+        # The deterministic dump is not trivially empty: it carries the
+        # campaign aggregates and the latency histograms.
+        assert dump1["gauges"]["campaign.coverage{machine=counter3}"] > 0.9
+        assert any(
+            k.startswith("campaign.detection_latency_steps")
+            for k in dump1["histograms"]
+        )
+
+    def test_wall_clock_metrics_are_segregated(self):
+        _result, dump = self._campaign_dump(2)
+        for section in dump.values():
+            for name in section:
+                base = name.split("{", 1)[0]
+                assert not base.endswith("_seconds")
+                assert not base.startswith(("parallel.", "cache."))
+
+
+class TestInstrumentationOff:
+    def test_campaign_identical_with_and_without_registry(self):
+        machine = counter(3)
+        tour = transition_tour(machine)
+        bare = run_campaign(machine, tour.inputs)
+        with scoped_registry():
+            instrumented = run_campaign(machine, tour.inputs)
+        assert bare == instrumented
+
+    def test_hot_paths_record_nothing_when_disabled(self):
+        # With the null registry and no tracer installed (the default),
+        # generation and campaigns leave no observable residue.
+        assert not get_registry().enabled
+        assert get_tracer() is None
+        machine = vending_machine()
+        tour = transition_tour(machine)
+        run_campaign(machine, tour.inputs)
+        assert not get_registry().enabled
+        assert get_tracer() is None
