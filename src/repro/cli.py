@@ -167,7 +167,7 @@ def cmd_tour(args: argparse.Namespace) -> int:
         if args.show:
             print(" ".join(map(str, tour.inputs)))
         if args.campaign:
-            print(run_campaign(machine, tour.inputs))
+            print(run_campaign(machine, tour.inputs, kernel=args.kernel))
     return 0
 
 
@@ -205,6 +205,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 test_name=f"directed programs (jobs={args.jobs})",
                 jobs=args.jobs,
                 timeout=args.timeout,
+                kernel=args.kernel,
             )
             if args.json:
                 print(json.dumps(campaign.to_json_dict(), indent=2,
@@ -227,7 +228,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         machine = builder()
         tour = transition_tour(machine, method=args.method)
         result = run_campaign(
-            machine, tour.inputs, jobs=args.jobs, timeout=args.timeout
+            machine, tour.inputs, jobs=args.jobs, timeout=args.timeout,
+            kernel=args.kernel,
         )
         if args.json:
             print(json.dumps(result.to_json_dict(), indent=2,
@@ -302,6 +304,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="measure error coverage over all single faults",
     )
+    tour.add_argument(
+        "--kernel",
+        choices=("interp", "compiled"),
+        default="compiled",
+        help="simulation kernel for --campaign (verdicts are "
+        "identical; 'interp' is the differential oracle)",
+    )
     _add_obs_flags(tour)
     tour.set_defaults(func=cmd_tour)
 
@@ -340,6 +349,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-fault wall-clock timeout in seconds; a timed-out "
         "mutant is recorded as detected-by-crash",
+    )
+    camp.add_argument(
+        "--kernel",
+        choices=("interp", "compiled"),
+        default="compiled",
+        help="simulation kernel: 'compiled' replays faults against "
+        "dense-table/word-parallel compilations in 63-mutant batches, "
+        "'interp' walks the machines per fault (the differential "
+        "oracle); verdicts are byte-identical",
     )
     camp.add_argument(
         "--json",

@@ -32,7 +32,6 @@ comparison.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -163,7 +162,9 @@ class ForallKReport:
 
 
 def analyze_forall_k(
-    machine: MealyMachine, max_k: Optional[int] = None
+    machine: MealyMachine,
+    max_k: Optional[int] = None,
+    kernel: str = "compiled",
 ) -> ForallKReport:
     """Find the least ``k`` making *all* distinct state pairs
     forall-k-distinguishable.
@@ -171,8 +172,22 @@ def analyze_forall_k(
     Runs the ``Eq_j`` iteration to its fixed point (or to ``max_k``).
     If the fixed point still contains pairs, no finite ``k`` works and
     the report carries those residual pairs as diagnostics.
+
+    ``kernel="compiled"`` (default) runs the iteration over the dense
+    pair-space kernel; ``"interp"`` keeps the set-of-tuples reference
+    the kernel is differentially tested against.  Reports are
+    identical (same ``k``, ``residual_pairs`` and ``rounds``).
     """
+    if kernel not in ("interp", "compiled"):
+        raise ValueError(
+            f"unknown kernel {kernel!r}: expected one of "
+            f"('interp', 'compiled')"
+        )
     _require_complete(machine)
+    if kernel == "compiled":
+        from ..kernel import analyze_forall_k_kernel
+
+        return analyze_forall_k_kernel(machine, max_k)
     states = sorted(machine.states, key=repr)
     inputs = sorted(machine.inputs, key=repr)
     current: Set[Pair] = {
@@ -207,57 +222,135 @@ def analyze_forall_k(
     return ForallKReport(k=None, residual_pairs=frozenset(current), rounds=rounds)
 
 
+def _pair_distance_table(machine: MealyMachine) -> Dict[Pair, Optional[int]]:
+    """Shortest exists-distinguishing length for *every* unordered
+    distinct state pair, computed in one shared layered fixpoint.
+
+    Layer 1 holds pairs split immediately by some (mutually defined)
+    input; layer ``d`` adds pairs with an identical-output move into an
+    earlier layer.  One sweep prices the whole triangle -- the
+    per-query BFS this replaces re-explored the same pair graph from
+    scratch for each of the ``n(n-1)/2`` queries.  Kept as the
+    reference implementation the dense kernel is tested against.
+    """
+    states = sorted(machine.states, key=repr)
+    inputs = sorted(machine.inputs, key=repr)
+    table: Dict[Pair, Optional[int]] = {
+        _canonical(a, b): None
+        for idx, a in enumerate(states)
+        for b in states[idx + 1:]
+    }
+    for pair in table:
+        a, b = pair
+        for inp in inputs:
+            ta = machine.transition(a, inp)
+            tb = machine.transition(b, inp)
+            if ta is not None and tb is not None and ta.out != tb.out:
+                table[pair] = 1
+                break
+    d = 2
+    changed = True
+    while changed:
+        changed = False
+        for pair, known in table.items():
+            if known is not None:
+                continue
+            a, b = pair
+            for inp in inputs:
+                ta = machine.transition(a, inp)
+                tb = machine.transition(b, inp)
+                if ta is None or tb is None or ta.out != tb.out:
+                    continue
+                if ta.dst == tb.dst:
+                    continue
+                succ = table[_canonical(ta.dst, tb.dst)]
+                if succ is not None and succ < d:
+                    table[pair] = d
+                    changed = True
+                    break
+        d += 1
+    return table
+
+
 def shortest_distinguishing_sequence(
-    machine: MealyMachine, s1: State, s2: State
+    machine: MealyMachine,
+    s1: State,
+    s2: State,
+    table: Optional[Dict[Pair, Optional[int]]] = None,
 ) -> Optional[Tuple[Input, ...]]:
     """Classical distinguishability: the shortest input sequence on
     which ``s1`` and ``s2`` produce different outputs, or None if the
     states are output-equivalent.
 
-    BFS over the pair graph restricted to identical-output moves; the
-    first differing output closes the search.  This is the *exists*
-    flavour used in conformance testing (and by UIO computation); note
-    the contrast with Definition 5's *forall* flavour above.
+    Walks the shared pair-distance table greedily (first input, in
+    sorted order, that steps one layer closer), which reconstructs the
+    lexicographically-least shortest sequence -- the same sequence the
+    per-pair BFS this replaces returned.  Pass ``table`` (from
+    :func:`_pair_distance_table`) to amortize the fixpoint across many
+    queries; by default one is computed on demand.  This is the
+    *exists* flavour used in conformance testing (and by UIO
+    computation); note the contrast with Definition 5's *forall*
+    flavour above.
     """
     if s1 == s2:
         return None
-    start = (s1, s2)
-    work: deque = deque([(start, ())])
-    seen = {start}
+    if table is None:
+        table = _pair_distance_table(machine)
+    remaining = table.get(_canonical(s1, s2))
+    if remaining is None:
+        return None
     inputs = sorted(machine.inputs, key=repr)
-    while work:
-        (a, b), prefix = work.popleft()
+    a, b = s1, s2
+    sequence: List[Input] = []
+    while remaining:
         for inp in inputs:
             ta = machine.transition(a, inp)
             tb = machine.transition(b, inp)
             if ta is None or tb is None:
                 continue
-            if ta.out != tb.out:
-                return prefix + (inp,)
-            nxt = (ta.dst, tb.dst)
-            if nxt not in seen and nxt[0] != nxt[1]:
-                seen.add(nxt)
-                work.append((nxt, prefix + (inp,)))
-    return None
+            if remaining == 1:
+                if ta.out != tb.out:
+                    sequence.append(inp)
+                    return tuple(sequence)
+                continue
+            if ta.out != tb.out or ta.dst == tb.dst:
+                continue
+            succ = table[_canonical(ta.dst, tb.dst)]
+            if succ == remaining - 1:
+                sequence.append(inp)
+                a, b = ta.dst, tb.dst
+                remaining = succ
+                break
+        else:  # pragma: no cover - table invariant: a step always exists
+            raise AssertionError(
+                f"{machine.name}: pair distance table inconsistent at "
+                f"({a!r}, {b!r})"
+            )
+    return tuple(sequence)
 
 
 def distinguishability_matrix(
-    machine: MealyMachine,
+    machine: MealyMachine, kernel: str = "compiled"
 ) -> Dict[Pair, Optional[int]]:
     """For every unordered distinct state pair, the length of the
     shortest distinguishing sequence (None when equivalent).
 
     A diagnostic / reporting helper: the max over the matrix is the
     classical distinguishing bound, a lower bound on any usable
-    forall-k horizon.
+    forall-k horizon.  ``kernel="compiled"`` (default) prices the pair
+    space through the dense kernel; ``"interp"`` uses the shared-table
+    reference.  Matrices are identical either way.
     """
-    states = sorted(machine.states, key=repr)
-    result: Dict[Pair, Optional[int]] = {}
-    for idx, a in enumerate(states):
-        for b in states[idx + 1:]:
-            seq = shortest_distinguishing_sequence(machine, a, b)
-            result[_canonical(a, b)] = None if seq is None else len(seq)
-    return result
+    if kernel not in ("interp", "compiled"):
+        raise ValueError(
+            f"unknown kernel {kernel!r}: expected one of "
+            f"('interp', 'compiled')"
+        )
+    if kernel == "compiled":
+        from ..kernel import distinguishability_matrix_kernel
+
+        return distinguishability_matrix_kernel(machine)
+    return dict(_pair_distance_table(machine))
 
 
 def observability_deficit(

@@ -33,6 +33,7 @@ from ..parallel import (
     inputs_fingerprint,
     machine_fingerprint,
     parallel_map,
+    parallel_map_batched,
 )
 from .inject import Fault, all_single_faults
 from .simulate import Detection, detect_fault, detection_latency, pad_inputs
@@ -122,6 +123,32 @@ def _detect_task(shared: Tuple[MealyMachine, Tuple[Input, ...]],
     return bool(detect_fault(spec, fault, inputs))
 
 
+def _detect_batch_task(
+    shared: Tuple[MealyMachine, Tuple[Input, ...]], batch: Sequence[Fault]
+) -> List[Tuple[str, object]]:
+    """Word-sized campaign task: compiled verdicts for a fault batch.
+
+    Returns one ``("ok", bool)`` / ``("err", message)`` tuple per
+    fault so an invalid fault reports exactly like the interpreter
+    path instead of poisoning its batchmates.  The kernel import is
+    deferred: it compiles nothing until a compiled campaign runs.
+    """
+    spec, inputs = shared
+    from ..kernel import detect_faults_compiled
+
+    return detect_faults_compiled(spec, inputs, batch)
+
+
+_KERNELS = ("interp", "compiled")
+
+
+def _check_kernel(kernel: str) -> None:
+    if kernel not in _KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}: expected one of {_KERNELS}"
+        )
+
+
 def run_campaign(
     spec: MealyMachine,
     inputs: Sequence[Input],
@@ -131,6 +158,7 @@ def run_campaign(
     timeout: Optional[float] = None,
     retries: int = 0,
     cache: Optional[CampaignCache] = None,
+    kernel: str = "compiled",
 ) -> CampaignResult:
     """Test every fault in ``faults`` (default: the full single-fault
     population) against the test set ``inputs``.
@@ -143,7 +171,14 @@ def run_campaign(
     campaign-level analogue of a crash detection.  ``cache`` memoizes
     verdicts by (machine, fault, test-set) so unchanged mutants are not
     re-simulated across sweeps.
+
+    ``kernel`` selects the simulator: ``"compiled"`` (default) replays
+    faults against a dense-table compilation of the spec in word-sized
+    batches, ``"interp"`` walks the machine per fault.  Verdicts,
+    reports and error messages are byte-identical either way -- the
+    interpreter is kept as the differential oracle.
     """
+    _check_kernel(kernel)
     population = (
         all_single_faults(spec) if faults is None else list(faults)
     )
@@ -168,24 +203,41 @@ def run_campaign(
                     verdicts[i] = hit
         pending = [i for i, v in enumerate(verdicts) if v is None]
         if pending:
-            outcomes = parallel_map(
-                _detect_task,
-                [population[i] for i in pending],
-                shared=(spec, test),
-                jobs=jobs,
-                timeout=timeout,
-                retries=retries,
-            )
+            if kernel == "compiled":
+                outcomes = parallel_map_batched(
+                    _detect_batch_task,
+                    [population[i] for i in pending],
+                    shared=(spec, test),
+                    jobs=jobs,
+                    timeout=timeout,
+                    retries=retries,
+                )
+            else:
+                outcomes = parallel_map(
+                    _detect_task,
+                    [population[i] for i in pending],
+                    shared=(spec, test),
+                    jobs=jobs,
+                    timeout=timeout,
+                    retries=retries,
+                )
             wall = get_registry().histogram(
                 "campaign.fault_wall_seconds", buckets=SECONDS_BUCKETS
             )
             for i, outcome in zip(pending, outcomes):
-                if outcome.error is not None:
+                error, value = outcome.error, outcome.value
+                if error is None and not outcome.timed_out and kernel == "compiled":
+                    tag, payload = value
+                    if tag == "err":
+                        error = payload
+                    else:
+                        value = payload
+                if error is not None:
                     raise CampaignExecutionError(
                         f"fault {population[i]} failed to simulate: "
-                        f"{outcome.error}"
+                        f"{error}"
                     )
-                verdict = True if outcome.timed_out else bool(outcome.value)
+                verdict = True if outcome.timed_out else bool(value)
                 verdicts[i] = verdict
                 wall.observe(outcome.elapsed)
                 if outcome.timed_out:
@@ -276,6 +328,7 @@ def certified_tour_campaign(
     jobs: int = 1,
     timeout: Optional[float] = None,
     cache: Optional[CampaignCache] = None,
+    kernel: str = "compiled",
 ) -> CampaignResult:
     """Campaign with the Theorem 1 simulation discipline applied.
 
@@ -288,7 +341,8 @@ def certified_tour_campaign(
     k = certificate.k or 0
     padded = pad_inputs(spec, tour_inputs, k)
     return run_campaign(
-        spec, padded, faults=faults, jobs=jobs, timeout=timeout, cache=cache
+        spec, padded, faults=faults, jobs=jobs, timeout=timeout, cache=cache,
+        kernel=kernel,
     )
 
 
@@ -310,6 +364,7 @@ def compare_test_sets(
     *,
     jobs: int = 1,
     cache: Optional[CampaignCache] = None,
+    kernel: str = "compiled",
 ) -> List[ComparisonRow]:
     """Run the same campaign under several test sets; one row each.
 
@@ -323,7 +378,8 @@ def compare_test_sets(
     rows: List[ComparisonRow] = []
     for method, inputs in test_sets:
         result = run_campaign(
-            spec, inputs, faults=population, jobs=jobs, cache=cache
+            spec, inputs, faults=population, jobs=jobs, cache=cache,
+            kernel=kernel,
         )
         by_cls = result.by_class()
         rows.append(

@@ -1,0 +1,64 @@
+"""Compiled simulation kernels.
+
+Tree-walking interpretation pays per-step dispatch on every hot path:
+expression evaluation per gate per cycle (netlists), dict lookups on
+tuple keys per step (Mealy replay), a fresh BFS per state pair
+(distinguishability).  This package compiles each structure once and
+replays it with flat-array indexing and machine-word bitwise ops:
+
+* :mod:`.netlist_kernel` -- levelizes a netlist into an exec-generated
+  SSA cycle function over bit-slots; one pass simulates the golden
+  design plus up to :data:`MUTANT_LANES` stuck-at mutants in the lanes
+  of ordinary Python ints (word-parallel fault simulation with
+  drop-on-detect masking).
+* :mod:`.mealy_kernel` -- interns states/inputs to dense indices and
+  replays tours by array indexing; fault campaigns reuse one
+  precomputed spec trajectory per test set.
+* :mod:`.pairs_kernel` -- layered fixpoints over the triangular pair
+  space shared by ``distinguishability_matrix`` and
+  ``analyze_forall_k``.
+
+Every kernel is a byte-identical twin of its interpreter (same
+verdicts, same reports, same exception types and messages); the
+interpreter stays available behind ``--kernel interp`` as the
+differential oracle, and ``tests/test_kernel_differential.py`` pins
+the equivalence with hypothesis property tests.
+
+Compiled artifacts contain exec-generated functions and are therefore
+unpicklable; they are memoized in module-level ``WeakKeyDictionary``
+side tables rather than attached to the netlist/machine objects, so
+campaign payloads shipped to worker processes still pickle (workers
+recompile once per chunk).
+"""
+
+from .mealy_kernel import (
+    DenseMealy,
+    dense_mealy,
+    detect_fault_compiled,
+    detect_faults_compiled,
+)
+from .netlist_kernel import (
+    MUTANT_LANES,
+    CompiledNetlist,
+    KernelError,
+    compiled_netlist,
+    stuck_at_first_divergences,
+)
+from .pairs_kernel import (
+    analyze_forall_k_kernel,
+    distinguishability_matrix_kernel,
+)
+
+__all__ = [
+    "MUTANT_LANES",
+    "CompiledNetlist",
+    "DenseMealy",
+    "KernelError",
+    "analyze_forall_k_kernel",
+    "compiled_netlist",
+    "dense_mealy",
+    "detect_fault_compiled",
+    "detect_faults_compiled",
+    "distinguishability_matrix_kernel",
+    "stuck_at_first_divergences",
+]

@@ -1,0 +1,339 @@
+"""Dense-table compiled Mealy replay and batched fault detection.
+
+A :class:`MealyMachine` pays a dict lookup on a ``(state, input)``
+tuple key per step.  :class:`DenseMealy` interns states and inputs to
+dense integer indices (sorted by ``repr``, the library's canonical
+order) and flattens ``delta``/``lambda`` into plain lists indexed by
+``state * n_inputs + input`` -- replay becomes array indexing.
+
+On top of that sits the campaign kernel
+:func:`detect_faults_compiled`: the specification trajectory for one
+test set is computed *once* (state indices, outputs, per-site visit
+times and -- for incomplete machines -- the exact step and message of
+the first undefined spec step), after which
+
+* an :class:`~repro.core.errors.OutputError` verdict is a single
+  visit-table lookup (the mutant tracks the spec state exactly, so
+  the fault is detected iff its site is ever visited), and
+* a :class:`~repro.core.errors.TransferError` verdict simulates only
+  the *desynchronized* stretches: from each visit of the fault site
+  the walk follows the dense tables until the mutant either diverges
+  (detected), resynchronizes (binary-search jump to the next site
+  visit), or the test ends.
+
+Both reproduce :func:`repro.faults.simulate.compare_runs` verdicts --
+including the ``MealyError`` raised when the *spec* hits an undefined
+step before any divergence -- byte-for-byte; the property suite in
+``tests/test_kernel_differential.py`` pins this against the
+interpreter.
+"""
+
+from __future__ import annotations
+
+import weakref
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import OutputError, TransferError
+from ..core.mealy import (
+    Input,
+    MealyError,
+    MealyMachine,
+    Output,
+    State,
+    Transition,
+)
+
+
+class DenseMealy:
+    """A Mealy machine compiled to flat transition tables."""
+
+    def __init__(self, machine: MealyMachine) -> None:
+        self.machine = machine
+        self.states: Tuple[State, ...] = tuple(
+            sorted(machine.states, key=repr)
+        )
+        self.inputs: Tuple[Input, ...] = tuple(
+            sorted(machine.inputs, key=repr)
+        )
+        self.state_index: Dict[State, int] = {
+            s: i for i, s in enumerate(self.states)
+        }
+        self.input_index: Dict[Input, int] = {
+            x: i for i, x in enumerate(self.inputs)
+        }
+        self.n_inputs = len(self.inputs)
+        size = len(self.states) * self.n_inputs
+        # -1 = undefined (state, input) pair.
+        self.nxt: List[int] = [-1] * size
+        self.out: List[Optional[Output]] = [None] * size
+        self.trans: List[Optional[Transition]] = [None] * size
+        for s, si in self.state_index.items():
+            row = si * self.n_inputs
+            for t in machine.transitions_from(s):
+                k = row + self.input_index[t.inp]
+                self.nxt[k] = self.state_index[t.dst]
+                self.out[k] = t.out
+                self.trans[k] = t
+        self.initial = self.state_index[machine.initial]
+        self.signature = _machine_signature(machine)
+        # One-slot trajectory cache: campaigns replay one test set
+        # against thousands of mutants.
+        self._trajectory: Optional[Tuple[Tuple[Input, ...], "_Trajectory"]] = None
+
+    def _undefined(self, state_idx: int, inp: Input) -> MealyError:
+        # Exact message of MealyMachine.step for byte-identical errors.
+        return MealyError(
+            f"{self.machine.name}: no transition from "
+            f"{self.states[state_idx]!r} on {inp!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Replay (differential mirrors of MealyMachine methods)
+    # ------------------------------------------------------------------
+    def run(
+        self, inputs: Sequence[Input], start: Optional[State] = None
+    ) -> Tuple[List[Output], State]:
+        s = self.initial if start is None else self.state_index[start]
+        nxt, out, n_inputs = self.nxt, self.out, self.n_inputs
+        input_index = self.input_index
+        outs: List[Output] = []
+        for inp in inputs:
+            i = input_index.get(inp, -1)
+            k = s * n_inputs + i
+            if i < 0 or nxt[k] < 0:
+                raise self._undefined(s, inp)
+            outs.append(out[k])
+            s = nxt[k]
+        return outs, self.states[s]
+
+    def output_sequence(
+        self, inputs: Sequence[Input], start: Optional[State] = None
+    ) -> Tuple[Output, ...]:
+        outs, _final = self.run(inputs, start=start)
+        return tuple(outs)
+
+    def trace(
+        self, inputs: Sequence[Input], start: Optional[State] = None
+    ) -> List[Transition]:
+        s = self.initial if start is None else self.state_index[start]
+        nxt, trans, n_inputs = self.nxt, self.trans, self.n_inputs
+        input_index = self.input_index
+        path: List[Transition] = []
+        for inp in inputs:
+            i = input_index.get(inp, -1)
+            k = s * n_inputs + i
+            if i < 0 or nxt[k] < 0:
+                raise self._undefined(s, inp)
+            path.append(trans[k])  # type: ignore[arg-type]
+            s = nxt[k]
+        return path
+
+
+class _Trajectory:
+    """The spec run of one test set, precomputed for fault replay.
+
+    ``state_idx[t]`` / ``inp_idx[t]`` / ``outs[t]`` describe step
+    ``t`` (0-based) for ``t < steps``; ``steps < len(test)`` iff the
+    spec itself hits an undefined step there, in which case ``error``
+    is the exact :class:`MealyError` message ``compare_runs`` would
+    surface at that step.  ``visits`` maps a dense ``(state, input)``
+    site to the sorted list of step times the spec traverses it.
+    """
+
+    __slots__ = ("state_idx", "inp_idx", "outs", "steps", "error", "visits")
+
+    def __init__(self, dense: DenseMealy, test: Tuple[Input, ...]) -> None:
+        s = dense.initial
+        nxt, out, n_inputs = dense.nxt, dense.out, dense.n_inputs
+        input_index = dense.input_index
+        self.state_idx: List[int] = [s]
+        self.inp_idx: List[int] = []
+        self.outs: List[Output] = []
+        self.error: Optional[str] = None
+        for t, inp in enumerate(test):
+            i = input_index.get(inp, -1)
+            k = s * n_inputs + i
+            if i < 0 or nxt[k] < 0:
+                self.error = str(dense._undefined(s, inp))
+                break
+            self.inp_idx.append(i)
+            self.outs.append(out[k])
+            s = nxt[k]
+            self.state_idx.append(s)
+        self.steps = len(self.inp_idx)
+        self.visits: Dict[Tuple[int, int], List[int]] = {}
+        for t in range(self.steps):
+            site = (self.state_idx[t], self.inp_idx[t])
+            self.visits.setdefault(site, []).append(t)
+
+
+def _trajectory(dense: DenseMealy, test: Tuple[Input, ...]) -> _Trajectory:
+    cached = dense._trajectory
+    if cached is not None and cached[0] == test:
+        return cached[1]
+    traj = _Trajectory(dense, test)
+    dense._trajectory = (test, traj)
+    return traj
+
+
+def _machine_signature(machine: MealyMachine) -> Tuple[int, int]:
+    # Transitions are frozen and the delta map only grows (duplicates
+    # raise), so (|S|, |delta|) detects every post-compile mutation.
+    return (len(machine), machine.num_transitions())
+
+
+_DENSE_MEMO: "weakref.WeakKeyDictionary[MealyMachine, DenseMealy]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def dense_mealy(machine: MealyMachine) -> DenseMealy:
+    """Compile (or fetch the memoized compilation of) ``machine``.
+
+    Never attached to the machine itself so campaign payloads stay
+    picklable (see :func:`repro.kernel.netlist_kernel.compiled_netlist`).
+    """
+    cached = _DENSE_MEMO.get(machine)
+    if cached is not None and cached.signature == _machine_signature(
+        machine
+    ):
+        return cached
+    dense = DenseMealy(machine)
+    _DENSE_MEMO[machine] = dense
+    return dense
+
+
+def _spec_error(traj: _Trajectory) -> bool:
+    """Did the spec itself die before the end of the test set?"""
+    return traj.error is not None
+
+
+def _detect_output_fault(
+    dense: DenseMealy, traj: _Trajectory, fault: OutputError
+) -> bool:
+    src = dense.state_index[fault.src]
+    inp = dense.input_index[fault.inp]
+    if (src, inp) in traj.visits:
+        # The mutant's state tracks the spec exactly (only an output
+        # label differs), so the first site visit detects -- and every
+        # visit happens strictly before any undefined spec step.
+        return True
+    if _spec_error(traj):
+        raise MealyError(traj.error)
+    return False
+
+
+def _detect_transfer_fault(
+    dense: DenseMealy, traj: _Trajectory, fault: TransferError
+) -> bool:
+    src = dense.state_index[fault.src]
+    inp_i = dense.input_index[fault.inp]
+    wrong = dense.state_index[fault.wrong_dst]
+    visits = traj.visits.get((src, inp_i))
+    if not visits:
+        if _spec_error(traj):
+            raise MealyError(traj.error)
+        return False
+    nxt, out, n_inputs = dense.nxt, dense.out, dense.n_inputs
+    steps, total = traj.steps, len(traj.inp_idx) if traj.error is None else -1
+    spec_state, spec_out, inp_idx = traj.state_idx, traj.outs, traj.inp_idx
+    t = visits[0]
+    while True:
+        # Take the diverted transition at time t (output unchanged).
+        s = wrong
+        u = t + 1
+        resynced_at: Optional[int] = None
+        while True:
+            if u >= steps:
+                if traj.error is not None:
+                    # compare_runs steps the spec first: it raises at
+                    # the undefined step before checking the mutant.
+                    raise MealyError(traj.error)
+                return False  # test set exhausted while desynced
+            if s == spec_state[u]:
+                resynced_at = u
+                break
+            i = inp_idx[u]
+            if s == src and i == inp_i:
+                o: Optional[Output] = out[s * n_inputs + i]
+                n = wrong
+            else:
+                k = s * n_inputs + i
+                n = nxt[k]
+                if n < 0:
+                    return True  # mutant lost the transition: detected
+                o = out[k]
+            if o != spec_out[u]:
+                return True
+            s = n
+            u += 1
+        # Back in sync: behaviour is identical until the next site
+        # visit, so jump straight there.
+        pos = bisect_left(visits, resynced_at)
+        if pos == len(visits):
+            if _spec_error(traj):
+                raise MealyError(traj.error)
+            return False
+        t = visits[pos]
+
+
+def detect_fault_compiled(
+    spec: MealyMachine, fault: Any, inputs: Sequence[Input]
+) -> bool:
+    """Compiled verdict for one fault: does ``inputs`` detect it?
+
+    Matches ``bool(detect_fault(spec, fault, inputs))`` including the
+    exceptions: invalid faults raise the authentic ``FaultError`` (by
+    delegating to ``fault.apply``) and a spec-undefined step reached
+    before detection raises the interpreter's exact ``MealyError``.
+    Unknown fault types fall back to the interpreter.
+    """
+    dense = dense_mealy(spec)
+    traj = _trajectory(dense, tuple(inputs))
+    if isinstance(fault, OutputError):
+        t = spec.transition(fault.src, fault.inp)
+        if t is None or t.out == fault.wrong_out:
+            fault.apply(spec)  # raises the authentic FaultError
+        return _detect_output_fault(dense, traj, fault)
+    if isinstance(fault, TransferError):
+        t = spec.transition(fault.src, fault.inp)
+        if (
+            t is None
+            or t.dst == fault.wrong_dst
+            or fault.wrong_dst not in spec.states
+        ):
+            fault.apply(spec)  # raises the authentic FaultError
+        return _detect_transfer_fault(dense, traj, fault)
+    from ..faults.simulate import detect_fault
+
+    return bool(detect_fault(spec, fault, inputs))
+
+
+def detect_faults_compiled(
+    spec: MealyMachine,
+    inputs: Sequence[Input],
+    faults: Sequence[Any],
+) -> List[Tuple[str, Any]]:
+    """Batched verdicts: one ``("ok", bool)`` or ``("err", message)``
+    per fault, in order.
+
+    Errors are encoded as the executor's ``"ExcType: message"`` strings
+    instead of raised, so one invalid fault in a word-sized batch does
+    not poison its batchmates' verdicts.
+    """
+    from ..parallel import TaskTimeout
+
+    results: List[Tuple[str, Any]] = []
+    for fault in faults:
+        try:
+            results.append(
+                ("ok", detect_fault_compiled(spec, fault, inputs))
+            )
+        except TaskTimeout:
+            # Timeouts force singleton batches, so this is our whole
+            # batch: let the executor record it as timed out.
+            raise
+        except Exception as exc:  # noqa: BLE001 - reported per fault
+            results.append(("err", f"{type(exc).__name__}: {exc}"))
+    return results

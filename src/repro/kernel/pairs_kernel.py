@@ -1,0 +1,194 @@
+"""Layered fixpoints over the product pair space.
+
+Both distinguishability analyses in :mod:`repro.core.distinguish`
+quantify over unordered state pairs.  The interpreter answers each
+query independently -- a fresh BFS per pair for the matrix, a
+set-of-tuples fixpoint for ``analyze_forall_k``.  This kernel interns
+the pair space once through :class:`~repro.kernel.mealy_kernel.DenseMealy`
+(states sorted by ``repr``, the library's canonical order) and runs a
+single layered fixpoint per analysis:
+
+* :func:`distinguishability_matrix_kernel` computes every pair's
+  shortest *exists*-distinguishing length in forward rounds -- round 1
+  marks pairs split immediately by some input, round ``d`` marks pairs
+  with an equal-output move into a pair already marked ``< d``.  One
+  sweep prices the whole triangle instead of ``n(n-1)/2`` BFS runs.
+* :func:`analyze_forall_k_kernel` runs Definition 5's ``Eq_j``
+  shrinking iteration over a ``bytearray`` indexed by pair id,
+  replicating the reference loop round-for-round so ``k``,
+  ``residual_pairs`` and ``rounds`` come out identical.
+
+Pairs are addressed triangularly: for state indices ``a < b``,
+``pid = offsets[a] + (b - a - 1)``.  Membership tests are O(1) list
+reads -- deliberately *not* big-int bitset shifts, whose per-query
+cost grows with the pair count and would make each round quadratic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.distinguish import ForallKReport, Pair
+from ..core.mealy import MealyMachine
+from .mealy_kernel import DenseMealy, dense_mealy
+
+
+def _pair_offsets(n: int) -> List[int]:
+    """``offsets[a]`` such that pair ``a < b`` lives at
+    ``offsets[a] + (b - a - 1)``."""
+    offsets = [0] * n
+    acc = 0
+    for a in range(n):
+        offsets[a] = acc
+        acc += n - a - 1
+    return offsets
+
+
+def _distance_layers(dense: DenseMealy) -> List[Optional[int]]:
+    """Shortest exists-distinguishing length per pair id (None when
+    output-equivalent), by forward layered relaxation."""
+    n = len(dense.states)
+    ni = dense.n_inputs
+    offsets = _pair_offsets(n)
+    n_pairs = n * (n - 1) // 2
+    dist: List[Optional[int]] = [None] * n_pairs
+    nxt, out = dense.nxt, dense.out
+
+    # Round 1: some input (defined on both sides) splits the outputs.
+    pid = 0
+    for a in range(n):
+        ra = a * ni
+        for b in range(a + 1, n):
+            rb = b * ni
+            for i in range(ni):
+                ka, kb = ra + i, rb + i
+                if nxt[ka] >= 0 and nxt[kb] >= 0 and out[ka] != out[kb]:
+                    dist[pid] = 1
+                    break
+            pid += 1
+
+    # Round d: an equal-output move lands in a pair priced < d.  The
+    # BFS skips undefined moves and same-state successors, so we do too.
+    d = 2
+    changed = True
+    while changed:
+        changed = False
+        pid = 0
+        for a in range(n):
+            ra = a * ni
+            for b in range(a + 1, n):
+                if dist[pid] is None:
+                    rb = b * ni
+                    for i in range(ni):
+                        ka, kb = ra + i, rb + i
+                        na, nb = nxt[ka], nxt[kb]
+                        if na < 0 or nb < 0 or out[ka] != out[kb]:
+                            continue
+                        if na == nb:
+                            continue
+                        if na > nb:
+                            na, nb = nb, na
+                        q = dist[offsets[na] + (nb - na - 1)]
+                        if q is not None and q < d:
+                            dist[pid] = d
+                            changed = True
+                            break
+                pid += 1
+        d += 1
+    return dist
+
+
+def distinguishability_matrix_kernel(
+    machine: MealyMachine,
+) -> Dict[Pair, Optional[int]]:
+    """Kernel twin of :func:`repro.core.distinguish.distinguishability_matrix`."""
+    dense = dense_mealy(machine)
+    dist = _distance_layers(dense)
+    states = dense.states
+    result: Dict[Pair, Optional[int]] = {}
+    pid = 0
+    for a in range(len(states)):
+        for b in range(a + 1, len(states)):
+            # states are repr-sorted, so (states[a], states[b]) is
+            # already the _canonical ordering of the pair.
+            result[(states[a], states[b])] = dist[pid]
+            pid += 1
+    return result
+
+
+def analyze_forall_k_kernel(
+    machine: MealyMachine, max_k: Optional[int] = None
+) -> ForallKReport:
+    """Kernel twin of :func:`repro.core.distinguish.analyze_forall_k`.
+
+    The caller has already checked input-completeness, so every
+    ``(state, input)`` move is defined and the ``Eq_j`` recurrence
+    needs no undefined-move guards.
+    """
+    dense = dense_mealy(machine)
+    n = len(dense.states)
+    ni = dense.n_inputs
+    offsets = _pair_offsets(n)
+    n_pairs = n * (n - 1) // 2
+    nxt, out = dense.nxt, dense.out
+
+    current = bytearray([1]) * n_pairs
+    live = n_pairs
+    bound = max_k if max_k is not None else n * n + 1
+    rounds = 0
+    while rounds < bound:
+        if not live:
+            return ForallKReport(k=rounds, residual_pairs=frozenset(), rounds=rounds)
+        nxt_set = bytearray(n_pairs)
+        nxt_live = 0
+        pid = 0
+        for a in range(n):
+            ra = a * ni
+            for b in range(a + 1, n):
+                if current[pid]:
+                    rb = b * ni
+                    for i in range(ni):
+                        ka, kb = ra + i, rb + i
+                        if out[ka] != out[kb]:
+                            continue
+                        na, nb = nxt[ka], nxt[kb]
+                        if na == nb:
+                            nxt_set[pid] = 1
+                            nxt_live += 1
+                            break
+                        if na > nb:
+                            na, nb = nb, na
+                        if current[offsets[na] + (nb - na - 1)]:
+                            nxt_set[pid] = 1
+                            nxt_live += 1
+                            break
+                pid += 1
+        rounds += 1
+        if nxt_set == current:
+            return ForallKReport(
+                k=None,
+                residual_pairs=_decode_pairs(dense, current),
+                rounds=rounds,
+            )
+        current = nxt_set
+        live = nxt_live
+    if not live:
+        return ForallKReport(k=rounds, residual_pairs=frozenset(), rounds=rounds)
+    return ForallKReport(
+        k=None, residual_pairs=_decode_pairs(dense, current), rounds=rounds
+    )
+
+
+def _decode_pairs(
+    dense: DenseMealy, member: bytearray
+) -> "frozenset[Tuple[object, object]]":
+    states = dense.states
+    n = len(states)
+    pairs = []
+    pid = 0
+    for a in range(n):
+        for b in range(a + 1, n):
+            if member[pid]:
+                pairs.append((states[a], states[b]))
+            pid += 1
+    return frozenset(pairs)

@@ -24,13 +24,16 @@ from .cache import (
     machine_fingerprint,
 )
 from .executor import (
+    MUTANT_BATCH,
     TaskOutcome,
     TaskTimeout,
     default_jobs,
     parallel_map,
+    parallel_map_batched,
 )
 
 __all__ = [
+    "MUTANT_BATCH",
     "CampaignCache",
     "TaskOutcome",
     "TaskTimeout",
@@ -40,4 +43,5 @@ __all__ = [
     "inputs_fingerprint",
     "machine_fingerprint",
     "parallel_map",
+    "parallel_map_batched",
 ]

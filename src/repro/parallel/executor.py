@@ -63,6 +63,13 @@ class TaskOutcome:
         return self.error is None and not self.timed_out
 
 
+# Word-parallel kernels simulate the golden design plus up to 63 fault
+# mutants in the lanes of one machine word (see
+# repro.kernel.netlist_kernel); a batch of this size is the natural
+# unit of work to hand a worker process.
+MUTANT_BATCH = 63
+
+
 def default_jobs() -> int:
     """Worker count matching the CPUs this process may use."""
     try:
@@ -243,6 +250,77 @@ def parallel_map(
                                           timeout, retries)
     outcomes = [TaskOutcome(*records[index]) for index in range(len(work))]
     _record_pool_metrics(outcomes, jobs=jobs, fallback=fallback)
+    return outcomes
+
+
+def parallel_map_batched(
+    fn: Callable[..., Any],
+    items: Sequence[Any],
+    *,
+    shared: Any = None,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    batch_size: int = MUTANT_BATCH,
+) -> List[TaskOutcome]:
+    """Run a *batched* ``fn`` over ``items``; per-item outcomes in
+    submission order.
+
+    ``fn`` is called as ``fn(batch)`` (or ``fn(shared, batch)``) where
+    ``batch`` is a tuple of up to ``batch_size`` consecutive items, and
+    must return exactly one result per batch item.  Batching amortizes
+    per-task dispatch and lets word-parallel kernels simulate a whole
+    batch in one pass; the flattened outcome list is indistinguishable
+    from ``parallel_map`` over the individual items (identical values
+    in identical order), so callers stay byte-identical.
+
+    The per-task ``timeout`` budget necessarily covers a whole batch:
+    one slow item would both steal its batchmates' budget and mark all
+    of them timed out.  Timeouts therefore force singleton batches,
+    preserving ``parallel_map``'s per-item timeout semantics exactly.
+    """
+    work = list(items)
+    if not work:
+        return []
+    if timeout is not None:
+        batch_size = 1
+    batch_size = max(1, int(batch_size))
+    batches = [
+        tuple(work[lo:lo + batch_size])
+        for lo in range(0, len(work), batch_size)
+    ]
+    batch_outcomes = parallel_map(
+        fn, batches, shared=shared, jobs=jobs, timeout=timeout,
+        retries=retries,
+    )
+    outcomes: List[TaskOutcome] = []
+    for batch, outcome in zip(batches, batch_outcomes):
+        n = len(batch)
+        elapsed = outcome.elapsed / n
+        if outcome.ok:
+            values = outcome.value
+            if not isinstance(values, (list, tuple)) or len(values) != n:
+                raise ValueError(
+                    f"batched task returned "
+                    f"{len(values) if isinstance(values, (list, tuple)) else type(values).__name__} "
+                    f"results for a {n}-item batch"
+                )
+            for value in values:
+                outcomes.append(TaskOutcome(
+                    index=len(outcomes), value=value,
+                    attempts=outcome.attempts, elapsed=elapsed,
+                    worker=outcome.worker,
+                ))
+        else:
+            # A batch-level failure (the task itself raised or timed
+            # out) is attributed to every item in the batch.
+            for _ in range(n):
+                outcomes.append(TaskOutcome(
+                    index=len(outcomes), error=outcome.error,
+                    timed_out=outcome.timed_out,
+                    attempts=outcome.attempts, elapsed=elapsed,
+                    worker=outcome.worker,
+                ))
     return outcomes
 
 

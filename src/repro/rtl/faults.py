@@ -124,25 +124,108 @@ def detects_stuck_at(
     return None
 
 
+def _stuck_detect_task(
+    shared: Tuple[Netlist, Tuple[Mapping[str, bool], ...]], fault: StuckAt
+) -> Optional[int]:
+    """Per-fault interpreter task (module-level so workers unpickle it)."""
+    golden, vectors = shared
+    return detects_stuck_at(golden, fault, vectors)
+
+
+def _stuck_batch_task(
+    shared: Tuple[Netlist, Tuple[Mapping[str, bool], ...]],
+    batch: Sequence[StuckAt],
+) -> List[Optional[int]]:
+    """Word-sized worker task: first divergences for up to 63 faults in
+    one bit-parallel pass over the vectors."""
+    golden, vectors = shared
+    from ..kernel import stuck_at_first_divergences
+
+    return stuck_at_first_divergences(golden, vectors, batch)
+
+
 def run_stuck_at_campaign(
     golden: Netlist,
     vectors: Sequence[Mapping[str, bool]],
     faults: Optional[Sequence[StuckAt]] = None,
+    *,
+    jobs: int = 1,
+    kernel: str = "compiled",
 ) -> StructuralCampaignResult:
-    """Fault-simulate every stuck-at fault against the vector set."""
+    """Fault-simulate every stuck-at fault against the vector set.
+
+    ``kernel="compiled"`` (default) simulates the golden netlist plus
+    up to 63 mutants per pass in the bit-lanes of machine words (see
+    :mod:`repro.kernel.netlist_kernel`); ``"interp"`` compiles and
+    steps each mutant netlist separately.  ``jobs`` fans word-batches
+    (or single faults, under ``interp``) out to worker processes.
+    Verdicts are byte-identical across kernels and job counts.
+    """
+    if kernel not in ("interp", "compiled"):
+        raise ValueError(
+            f"unknown kernel {kernel!r}: expected one of "
+            f"('interp', 'compiled')"
+        )
     population = (
         all_stuck_at_faults(golden) if faults is None else list(faults)
     )
+    vec_list = tuple(vectors)
+    divergences: List[Optional[int]]
+    if kernel == "compiled":
+        # Surface bad fault targets eagerly (and from the parent
+        # process), with the same error apply() would raise.
+        known = set(golden.inputs) | set(golden.register_names)
+        for fault in population:
+            if fault.bit not in known:
+                raise ValueError(f"{golden.name}: no bit {fault.bit!r}")
+        if jobs <= 1:
+            from ..kernel import stuck_at_first_divergences
+
+            divergences = stuck_at_first_divergences(
+                golden, vec_list, population
+            )
+        else:
+            from ..parallel import parallel_map_batched
+
+            outcomes = parallel_map_batched(
+                _stuck_batch_task, population,
+                shared=(golden, vec_list), jobs=jobs,
+            )
+            divergences = [
+                outcome.value if outcome.ok
+                # A failed batch (e.g. an unpicklable payload edge) is
+                # re-run in-process so the authentic exception, if
+                # any, surfaces exactly as it would serially.
+                else detects_stuck_at(golden, fault, vec_list)
+                for fault, outcome in zip(population, outcomes)
+            ]
+    elif jobs > 1:
+        from ..parallel import parallel_map
+
+        outcomes = parallel_map(
+            _stuck_detect_task, population,
+            shared=(golden, vec_list), jobs=jobs,
+        )
+        divergences = [
+            outcome.value if outcome.ok
+            else detects_stuck_at(golden, fault, vec_list)
+            for fault, outcome in zip(population, outcomes)
+        ]
+    else:
+        divergences = [
+            detects_stuck_at(golden, fault, vec_list)
+            for fault in population
+        ]
     detected: List[StuckAt] = []
     escaped: List[StuckAt] = []
-    for fault in population:
-        if detects_stuck_at(golden, fault, vectors) is not None:
+    for fault, first in zip(population, divergences):
+        if first is not None:
             detected.append(fault)
         else:
             escaped.append(fault)
     return StructuralCampaignResult(
         netlist_name=golden.name,
-        vectors=len(vectors),
+        vectors=len(vec_list),
         detected=tuple(detected),
         escaped=tuple(escaped),
     )

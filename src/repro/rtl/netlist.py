@@ -210,13 +210,43 @@ class Netlist:
         """Run a cycle-by-cycle input sequence from reset (or ``state``).
 
         Returns (list of per-cycle outputs, final state).
+
+        The structural checks :meth:`step` performs every cycle
+        (registers present and driven) are hoisted out of the loop
+        here -- the netlist cannot change mid-run, so only the
+        per-cycle vectors need checking inside it.
         """
-        cur = dict(state) if state is not None else self.reset_state()
+        cur = state if state is not None else self.reset_state()
+        env: Dict[str, bool] = {}
+        regs: List[Tuple[str, Expr]] = []
+        for name, reg in self._registers.items():
+            if name not in cur:
+                raise NetlistError(
+                    f"{self.name}: state misses register {name!r}"
+                )
+            if reg.next is None:
+                raise NetlistError(
+                    f"{self.name}: register {reg.name!r} has no next-state"
+                )
+            env[name] = bool(cur[name])
+            regs.append((name, reg.next))
+        input_names = self._inputs
+        output_items = list(self._outputs.items())
         outs: List[Dict[str, bool]] = []
         for vec in input_sequence:
-            cur, out = self.step(cur, vec)
-            outs.append(out)
-        return outs, cur
+            for name in input_names:
+                if name not in vec:
+                    raise NetlistError(
+                        f"{self.name}: input {name!r} not driven"
+                    )
+                env[name] = bool(vec[name])
+            outs.append(
+                {name: evaluate(expr, env) for name, expr in output_items}
+            )
+            nxt = [evaluate(expr, env) for _name, expr in regs]
+            for (name, _expr), value in zip(regs, nxt):
+                env[name] = value
+        return outs, {name: env[name] for name, _expr in regs}
 
     # ------------------------------------------------------------------
     # Structure

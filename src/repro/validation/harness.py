@@ -19,9 +19,12 @@ from ..dlx.isa import Instruction
 from ..dlx.pipeline import PipelineBugs, PipelinedDLX
 from ..obs import STEP_BUCKETS, get_registry, span
 from ..parallel import (
+    MUTANT_BATCH,
     CampaignCache,
+    TaskTimeout,
     battery_fingerprint,
     parallel_map,
+    parallel_map_batched,
 )
 from .checkpoints import compare_streams
 from .report import (
@@ -161,6 +164,30 @@ def _bug_entry_task(
     return (False, None)
 
 
+def _bug_entry_batch_task(
+    shared: Tuple[Tuple, ...], batch: Sequence[BugEntry]
+) -> List[Tuple[str, object]]:
+    """Batched campaign task: one ``("ok", (detected, mismatch))`` or
+    ``("err", message)`` per catalog entry, so a failing entry reports
+    exactly like the per-entry path without poisoning its batchmates.
+
+    Batching amortizes the per-task pickling of the shared battery
+    (programs + precomputed spec streams), which for the DLX campaign
+    dominates the dispatch cost.
+    """
+    results: List[Tuple[str, object]] = []
+    for entry in batch:
+        try:
+            results.append(("ok", _bug_entry_task(shared, entry)))
+        except TaskTimeout:
+            # Timeouts force singleton batches, so this is our whole
+            # batch: let the executor record it as timed out.
+            raise
+        except Exception as exc:  # noqa: BLE001 - reported per entry
+            results.append(("err", f"{type(exc).__name__}: {exc}"))
+    return results
+
+
 def run_bug_campaign(
     tests: Sequence[Tuple[Sequence[Instruction], Optional[Dict[int, int]],
                           Optional[Sequence[bool]]]],
@@ -171,6 +198,7 @@ def run_bug_campaign(
     timeout: Optional[float] = None,
     retries: int = 0,
     cache: Optional[CampaignCache] = None,
+    kernel: str = "compiled",
 ) -> BugCampaignResult:
     """Run every catalog bug against a battery of test programs.
 
@@ -187,7 +215,17 @@ def run_bug_campaign(
     detected with a "crash" mismatch instead of stalling the sweep for
     the full ``max_cycles`` bound.  ``cache`` memoizes rows by
     (catalog entry, test battery).
+
+    ``kernel="compiled"`` (default) hands workers small *batches* of
+    catalog entries instead of single entries, amortizing the per-task
+    shipping of the shared battery; ``"interp"`` keeps the one-entry-
+    per-task dispatch.  Rows are byte-identical either way.
     """
+    if kernel not in ("interp", "compiled"):
+        raise ValueError(
+            f"unknown kernel {kernel!r}: expected one of "
+            f"('interp', 'compiled')"
+        )
     with span(
         "bugcampaign.run",
         test_name=test_name,
@@ -217,20 +255,41 @@ def run_bug_campaign(
                     rows_by_index[i] = hit
         pending = [i for i in range(len(catalog)) if i not in rows_by_index]
         if pending:
-            outcomes = parallel_map(
-                _bug_entry_task,
-                [catalog[i] for i in pending],
-                shared=prepared,
-                jobs=jobs,
-                timeout=timeout,
-                retries=retries,
-            )
+            if kernel == "compiled":
+                # Keep at least jobs*4 batches in flight so a short
+                # catalog still fans out across every worker.
+                per_worker = -(-len(pending) // (max(1, int(jobs)) * 4))
+                outcomes = parallel_map_batched(
+                    _bug_entry_batch_task,
+                    [catalog[i] for i in pending],
+                    shared=prepared,
+                    jobs=jobs,
+                    timeout=timeout,
+                    retries=retries,
+                    batch_size=max(1, min(MUTANT_BATCH, per_worker)),
+                )
+            else:
+                outcomes = parallel_map(
+                    _bug_entry_task,
+                    [catalog[i] for i in pending],
+                    shared=prepared,
+                    jobs=jobs,
+                    timeout=timeout,
+                    retries=retries,
+                )
             for i, outcome in zip(pending, outcomes):
                 entry = catalog[i]
-                if outcome.error is not None:
+                error, value = outcome.error, outcome.value
+                if error is None and not outcome.timed_out and kernel == "compiled":
+                    tag, payload = value
+                    if tag == "err":
+                        error = payload
+                    else:
+                        value = payload
+                if error is not None:
                     raise BugCampaignError(
                         f"catalog bug {entry.name!r} failed to simulate: "
-                        f"{outcome.error}"
+                        f"{error}"
                     )
                 if outcome.timed_out:
                     # The correct design always halts well inside the
@@ -243,7 +302,7 @@ def run_bug_campaign(
                         f"wall clock",
                     )
                 else:
-                    detected, mismatch = outcome.value
+                    detected, mismatch = value
                 row = BugCampaignRow(
                     bug_name=entry.name,
                     mechanism=entry.mechanism,
@@ -296,6 +355,7 @@ def campaign_from_concrete_test(
     jobs: int = 1,
     timeout: Optional[float] = None,
     cache: Optional[CampaignCache] = None,
+    kernel: str = "compiled",
 ) -> BugCampaignResult:
     """Bug campaign driven by a single converted tour test."""
     image = data if data is not None else test.data
@@ -306,6 +366,7 @@ def campaign_from_concrete_test(
         jobs=jobs,
         timeout=timeout,
         cache=cache,
+        kernel=kernel,
     )
 
 
