@@ -20,11 +20,16 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .mealy import MealyMachine
+from .mealy import MealyError, MealyMachine
+from .parse import ParseError
 
 
-class KissError(Exception):
-    """Raised on malformed KISS2 text or unencodable machines."""
+class KissError(ParseError):
+    """Raised on malformed KISS2 text or unencodable machines.
+
+    A :class:`repro.core.parse.ParseError`: carries the source path
+    and line number of the offending text when known.
+    """
 
 
 @dataclass(frozen=True)
@@ -94,14 +99,24 @@ def to_kiss(machine: MealyMachine) -> KissDocument:
     )
 
 
-def from_kiss(text: str, name: str = "kiss") -> MealyMachine:
+#: Headers whose value must parse as a non-negative integer.
+_INT_HEADERS = (".i", ".o", ".p", ".s")
+
+
+def from_kiss(
+    text: str, name: str = "kiss", path: Optional[str] = None
+) -> MealyMachine:
     """Parse KISS2 text into a Mealy machine.
 
     States are the KISS state names; inputs and outputs are the bit
     strings as written (don't-care input bits expand to both values).
+    ``path`` is attached to error messages (see
+    :class:`repro.core.parse.ParseError`); malformed headers,
+    transition lines and nondeterministic transition pairs all raise
+    :class:`KissError` with the offending line's number.
     """
     headers: Dict[str, str] = {}
-    body: List[Tuple[str, str, str, str]] = []
+    body: List[Tuple[int, str, str, str, str]] = []
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -111,35 +126,67 @@ def from_kiss(text: str, name: str = "kiss") -> MealyMachine:
         if line.startswith("."):
             parts = line.split()
             if len(parts) != 2:
-                raise KissError(f"line {line_no}: bad header {line!r}")
+                raise KissError(
+                    f"bad header {line!r}", path=path, line=line_no
+                )
+            if parts[0] in _INT_HEADERS:
+                try:
+                    if int(parts[1]) < 0:
+                        raise ValueError
+                except ValueError:
+                    raise KissError(
+                        f"header {parts[0]} needs a non-negative "
+                        f"integer, got {parts[1]!r}",
+                        path=path, line=line_no,
+                    ) from None
             headers[parts[0]] = parts[1]
             continue
         parts = line.split()
         if len(parts) != 4:
             raise KissError(
-                f"line {line_no}: expected 'in state next out', "
-                f"got {line!r}"
+                f"expected 'in state next out', got {line!r}",
+                path=path, line=line_no,
             )
-        body.append((parts[0], parts[1], parts[2], parts[3]))
+        body.append((line_no, parts[0], parts[1], parts[2], parts[3]))
     if not body:
-        raise KissError("no transitions")
-    reset = headers.get(".r", body[0][1])
+        raise KissError("no transitions", path=path)
+    reset = headers.get(".r", body[0][2])
     machine = MealyMachine(reset, name=name)
     declared_inputs = headers.get(".i")
-    for in_bits, src, dst, out_bits in body:
+    for line_no, in_bits, src, dst, out_bits in body:
+        if any(bit not in "01-" for bit in in_bits):
+            raise KissError(
+                f"input {in_bits!r} has bits outside '01-'",
+                path=path, line=line_no,
+            )
         if declared_inputs is not None and len(in_bits) != int(
             declared_inputs
         ):
             raise KissError(
-                f"input {in_bits!r} width != .i {declared_inputs}"
+                f"input {in_bits!r} width != .i {declared_inputs}",
+                path=path, line=line_no,
             )
         for expanded in _expand(in_bits):
-            machine.add_transition(src, expanded, out_bits, dst)
-    if ".p" in headers and machine.num_transitions() < len(body):
-        # Duplicate (identical) lines are tolerated; conflicting ones
-        # raise inside add_transition.
-        pass
+            try:
+                machine.add_transition(src, expanded, out_bits, dst)
+            except MealyError as exc:
+                # Duplicate (identical) lines are tolerated by
+                # add_transition; a *conflicting* pair means the text
+                # describes a nondeterministic machine.
+                raise KissError(
+                    f"conflicting transition: {exc}",
+                    path=path, line=line_no,
+                ) from exc
     return machine
+
+
+def load_kiss(path: str, name: Optional[str] = None) -> MealyMachine:
+    """Read and parse a KISS2 file; errors carry the file path."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return from_kiss(
+        text, name=name if name is not None else str(path), path=str(path)
+    )
 
 
 def _expand(bits: str) -> List[str]:

@@ -1,0 +1,52 @@
+"""Shared error type for the interchange-format loaders.
+
+The KISS2 (:mod:`repro.core.kiss`) and BLIF (:mod:`repro.rtl.blif`)
+loaders consume text written by external tools, so malformed input is
+an expected condition, not a programming error.  Every loader failure
+raises a :class:`ParseError` subclass carrying the file path and line
+number of the offending text -- callers get ``"models/foo.kiss, line
+12: bad header '.i'"`` instead of a raw ``KeyError`` escaping from
+the bowels of the parser.
+
+``ParseError`` subclasses ``ValueError`` so existing ``except
+ValueError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ParseError(ValueError):
+    """Malformed interchange text, located by file and line.
+
+    Attributes
+    ----------
+    message:
+        The bare description, without location prefix.
+    path:
+        The source file (or None for in-memory text).
+    line:
+        1-based line number of the offending text (or None).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[str] = None,
+        line: Optional[int] = None,
+    ) -> None:
+        self.message = message
+        self.path = path
+        self.line = line
+        super().__init__(self._located())
+
+    def _located(self) -> str:
+        if self.path is not None and self.line is not None:
+            return f"{self.path}, line {self.line}: {self.message}"
+        if self.line is not None:
+            return f"line {self.line}: {self.message}"
+        if self.path is not None:
+            return f"{self.path}: {self.message}"
+        return self.message

@@ -5,10 +5,12 @@ from .campaign import (
     CampaignExecutionError,
     CampaignResult,
     ComparisonRow,
+    FaultVerdict,
     certified_tour_campaign,
     compare_test_sets,
     format_comparison,
     run_campaign,
+    sweep_verdicts,
 )
 from .inject import (
     all_output_faults,
@@ -32,6 +34,7 @@ __all__ = [
     "ComparisonRow",
     "Detection",
     "Diagnosis",
+    "FaultVerdict",
     "diagnose",
     "diagnose_escapes",
     "all_output_faults",
@@ -48,4 +51,5 @@ __all__ = [
     "pad_inputs",
     "run_campaign",
     "sample_faults",
+    "sweep_verdicts",
 ]

@@ -15,6 +15,7 @@ machines the escapes are expected and diagnostic.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -34,6 +35,7 @@ from ..parallel import (
     machine_fingerprint,
     parallel_map,
     parallel_map_batched,
+    run_task_inline,
 )
 from .inject import Fault, all_single_faults
 from .simulate import Detection, detect_fault, detection_latency, pad_inputs
@@ -42,6 +44,30 @@ from .simulate import Detection, detect_fault, detection_latency, pad_inputs
 class CampaignExecutionError(RuntimeError):
     """A campaign task failed (after retries) instead of returning a
     verdict; raised rather than silently mislabelling the fault."""
+
+
+#: Bounded exponential backoff for quarantined-fault oracle re-runs:
+#: up to DEGRADE_ATTEMPTS attempts, sleeping DEGRADE_BACKOFF,
+#: 2*DEGRADE_BACKOFF, ... between them.
+DEGRADE_ATTEMPTS = 3
+DEGRADE_BACKOFF = 0.02
+
+
+@dataclass(frozen=True)
+class FaultVerdict:
+    """One fault's campaign verdict plus how it was obtained.
+
+    ``degraded`` marks a verdict produced by the quarantine path: the
+    primary (possibly compiled, possibly pooled) task failed and the
+    fault was re-run on the in-process interpreter oracle.  The
+    verdict itself is exactly as trustworthy as any other -- the
+    oracle *defines* correctness -- but a degraded campaign did not
+    complete cleanly, which CI distinguishes via the exit status.
+    """
+
+    detected: bool
+    timed_out: bool = False
+    degraded: bool = False
 
 
 @dataclass(frozen=True)
@@ -62,6 +88,12 @@ class CampaignResult:
     test_length: int
     detected: Tuple[Fault, ...]
     escaped: Tuple[Fault, ...]
+    #: True when at least one verdict came from the degradation path
+    #: (quarantined task re-run on the interpreter oracle).  Excluded
+    #: from equality and from reports: verdicts are byte-identical
+    #: either way, and the "survived pass" signal travels through the
+    #: CLI exit status and the runtime.* metrics instead.
+    degraded: bool = field(default=False, compare=False)
 
     @property
     def total(self) -> int:
@@ -149,6 +181,104 @@ def _check_kernel(kernel: str) -> None:
         )
 
 
+def _rerun_on_oracle(
+    spec: MealyMachine, test: Tuple[Input, ...], fault: Fault
+) -> bool:
+    """Replay one quarantined fault on the in-process interpreter.
+
+    Bounded exponential backoff absorbs transient failures (a chaos-
+    killed worker, an OOM blip); a deterministic failure -- an invalid
+    fault, an undefined step -- exhausts the attempts and raises with
+    the same message the direct interpreter path produces, because
+    the re-run goes through :func:`run_task_inline` and therefore the
+    identical executor frames.
+    """
+    delay = DEGRADE_BACKOFF
+    error: Optional[str] = None
+    for attempt in range(DEGRADE_ATTEMPTS):
+        if attempt:
+            time.sleep(delay)
+            delay *= 2
+            get_registry().counter("runtime.degrade_retries_total").inc()
+        outcome = run_task_inline(_detect_task, (spec, test), fault)
+        if outcome.ok:
+            return bool(outcome.value)
+        error = outcome.error
+    raise CampaignExecutionError(
+        f"fault {fault} failed to simulate: {error}"
+    )
+
+
+def sweep_verdicts(
+    spec: MealyMachine,
+    test: Tuple[Input, ...],
+    faults: Sequence[Fault],
+    *,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    kernel: str = "compiled",
+) -> List[FaultVerdict]:
+    """One :class:`FaultVerdict` per fault, in submission order.
+
+    The execution core shared by :func:`run_campaign` and the
+    journaled runtime (:mod:`repro.runtime.runner`).  A task that
+    fails -- a poisoned compiled kernel, a worker crash the pool
+    fallback could not hide, an exception that survived ``retries``
+    -- does not abort the sweep: the affected faults are quarantined
+    and re-run on the interpreter oracle (with bounded exponential
+    backoff), their verdicts are marked ``degraded``, and a
+    degradation event lands in the ``runtime.*`` metrics namespace.
+    Only a fault the oracle itself cannot simulate raises
+    :class:`CampaignExecutionError`.
+    """
+    _check_kernel(kernel)
+    faults = list(faults)
+    if not faults:
+        return []
+    if kernel == "compiled":
+        outcomes = parallel_map_batched(
+            _detect_batch_task, faults, shared=(spec, test), jobs=jobs,
+            timeout=timeout, retries=retries,
+        )
+    else:
+        outcomes = parallel_map(
+            _detect_task, faults, shared=(spec, test), jobs=jobs,
+            timeout=timeout, retries=retries,
+        )
+    wall = get_registry().histogram(
+        "campaign.fault_wall_seconds", buckets=SECONDS_BUCKETS
+    )
+    verdicts: List[Optional[FaultVerdict]] = [None] * len(faults)
+    quarantined: List[int] = []
+    for i, outcome in enumerate(outcomes):
+        error, value = outcome.error, outcome.value
+        if error is None and not outcome.timed_out and kernel == "compiled":
+            tag, payload = value
+            if tag == "err":
+                error = payload
+            else:
+                value = payload
+        if error is not None:
+            quarantined.append(i)
+            continue
+        wall.observe(outcome.elapsed)
+        if outcome.timed_out:
+            verdicts[i] = FaultVerdict(detected=True, timed_out=True)
+        else:
+            verdicts[i] = FaultVerdict(detected=bool(value))
+    if quarantined:
+        reg = get_registry()
+        reg.counter("runtime.degradations_total").inc()
+        reg.counter("runtime.quarantined_tasks_total").inc(len(quarantined))
+        for i in quarantined:
+            verdicts[i] = FaultVerdict(
+                detected=_rerun_on_oracle(spec, test, faults[i]),
+                degraded=True,
+            )
+    return verdicts  # type: ignore[return-value] - all slots filled
+
+
 def run_campaign(
     spec: MealyMachine,
     inputs: Sequence[Input],
@@ -177,6 +307,11 @@ def run_campaign(
     batches, ``"interp"`` walks the machine per fault.  Verdicts,
     reports and error messages are byte-identical either way -- the
     interpreter is kept as the differential oracle.
+
+    A failing task does not abort the sweep: the affected faults are
+    quarantined and re-run on the interpreter oracle (graceful
+    degradation -- see :func:`sweep_verdicts`); the result's
+    ``degraded`` flag records that it happened.
     """
     _check_kernel(kernel)
     population = (
@@ -202,49 +337,21 @@ def run_campaign(
                 if hit is not CampaignCache.MISSING:
                     verdicts[i] = hit
         pending = [i for i, v in enumerate(verdicts) if v is None]
+        degraded = False
         if pending:
-            if kernel == "compiled":
-                outcomes = parallel_map_batched(
-                    _detect_batch_task,
-                    [population[i] for i in pending],
-                    shared=(spec, test),
-                    jobs=jobs,
-                    timeout=timeout,
-                    retries=retries,
-                )
-            else:
-                outcomes = parallel_map(
-                    _detect_task,
-                    [population[i] for i in pending],
-                    shared=(spec, test),
-                    jobs=jobs,
-                    timeout=timeout,
-                    retries=retries,
-                )
-            wall = get_registry().histogram(
-                "campaign.fault_wall_seconds", buckets=SECONDS_BUCKETS
+            swept = sweep_verdicts(
+                spec, test, [population[i] for i in pending],
+                jobs=jobs, timeout=timeout, retries=retries, kernel=kernel,
             )
-            for i, outcome in zip(pending, outcomes):
-                error, value = outcome.error, outcome.value
-                if error is None and not outcome.timed_out and kernel == "compiled":
-                    tag, payload = value
-                    if tag == "err":
-                        error = payload
-                    else:
-                        value = payload
-                if error is not None:
-                    raise CampaignExecutionError(
-                        f"fault {population[i]} failed to simulate: "
-                        f"{error}"
-                    )
-                verdict = True if outcome.timed_out else bool(value)
-                verdicts[i] = verdict
-                wall.observe(outcome.elapsed)
-                if outcome.timed_out:
+            for i, fv in zip(pending, swept):
+                verdicts[i] = fv.detected
+                if fv.timed_out:
                     timed_out.add(i)
+                if fv.degraded:
+                    degraded = True
                 # Timeouts are environment-dependent; never memoize them.
-                if cache is not None and not outcome.timed_out:
-                    cache.store(keys[i], verdict)
+                if cache is not None and not fv.timed_out:
+                    cache.store(keys[i], fv.detected)
         detected = tuple(f for f, v in zip(population, verdicts) if v)
         escaped = tuple(f for f, v in zip(population, verdicts) if not v)
         result = CampaignResult(
@@ -252,6 +359,7 @@ def run_campaign(
             test_length=len(test),
             detected=detected,
             escaped=escaped,
+            degraded=degraded,
         )
         _record_campaign_metrics(
             spec, test, population, verdicts, timed_out, result

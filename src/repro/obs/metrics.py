@@ -13,9 +13,10 @@ at any worker count:
 * **Deterministic dumps.**  :meth:`MetricsRegistry.dump` sorts every
   key; :meth:`MetricsRegistry.deterministic_dump` additionally drops
   the metrics that legitimately vary run-to-run -- wall-clock timings
-  (base name ending in ``_seconds``) and executor/cache internals
-  (``parallel.*``, ``cache.*``) -- leaving exactly the aggregates the
-  jobs=1 vs jobs=N differential tests compare.
+  (base name ending in ``_seconds``), executor/cache internals
+  (``parallel.*``, ``cache.*``) and crash-tolerance accounting
+  (``runtime.*``) -- leaving exactly the aggregates the jobs=1 vs
+  jobs=N differential tests compare.
 * **Zero cost when disabled.**  The process-global registry defaults
   to :data:`NULL_REGISTRY`, whose metric handles are shared no-op
   singletons: an un-instrumented run pays one attribute lookup and an
@@ -153,12 +154,20 @@ def _base_name(full_name: str) -> str:
 
 
 def _is_nondeterministic(full_name: str) -> bool:
-    """True for metrics that legitimately differ run-to-run."""
+    """True for metrics that legitimately differ run-to-run.
+
+    ``runtime.*`` covers the crash-tolerant runtime's degradation and
+    resume accounting: whether a worker died (and how often the
+    quarantine path retried) depends on the environment, never on the
+    verdicts, so those counters must not enter the byte-identity
+    comparisons.
+    """
     base = _base_name(full_name)
     return (
         base.endswith("_seconds")
         or base.startswith("parallel.")
         or base.startswith("cache.")
+        or base.startswith("runtime.")
     )
 
 
@@ -221,8 +230,9 @@ class MetricsRegistry:
     def deterministic_dump(self) -> Dict[str, Dict[str, Any]]:
         """The dump restricted to run-invariant aggregates.
 
-        Drops wall-clock metrics (``*_seconds``) and executor/cache
-        internals (``parallel.*``, ``cache.*``); what remains --
+        Drops wall-clock metrics (``*_seconds``), executor/cache
+        internals (``parallel.*``, ``cache.*``) and crash-tolerance
+        accounting (``runtime.*``); what remains --
         coverage counts, verdict counters, detection-latency
         histograms -- must be byte-identical at any ``jobs`` setting.
         """

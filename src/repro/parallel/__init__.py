@@ -28,8 +28,10 @@ from .executor import (
     TaskOutcome,
     TaskTimeout,
     default_jobs,
+    install_task_wrapper,
     parallel_map,
     parallel_map_batched,
+    run_task_inline,
 )
 
 __all__ = [
@@ -41,7 +43,9 @@ __all__ = [
     "default_jobs",
     "global_cache",
     "inputs_fingerprint",
+    "install_task_wrapper",
     "machine_fingerprint",
     "parallel_map",
     "parallel_map_batched",
+    "run_task_inline",
 ]

@@ -10,9 +10,10 @@ campaign duty:
   outcome list is therefore byte-identical at any ``jobs`` setting.
 * **Robustness** -- each task gets a wall-clock ``timeout`` (enforced
   with ``SIGALRM`` where available, i.e. the main thread of a POSIX
-  process -- which both the serial path and pool workers are) and up to
-  ``retries`` re-runs on unexpected exceptions.  One livelocked mutant
-  times out instead of hanging the whole sweep.
+  process -- which both the serial path and pool workers are; a
+  thread-based watchdog covers non-main-thread and non-POSIX callers)
+  and up to ``retries`` re-runs on unexpected exceptions.  One
+  livelocked mutant times out instead of hanging the whole sweep.
 * **Graceful degradation** -- if the payload cannot be pickled or the
   pool breaks (a worker dies, fork is unavailable), the affected chunks
   are transparently re-run in-process; the result is the same, just
@@ -27,6 +28,7 @@ import pickle
 import signal
 import threading
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -44,8 +46,10 @@ class TaskOutcome:
 
     Exactly one of the following holds: ``ok`` (``value`` is valid),
     ``timed_out`` (the task hit the wall-clock limit), or ``error``
-    is a non-None ``"ExcType: message"`` string (the task raised and
-    exhausted its retries).  ``elapsed`` is the task's wall-clock time
+    is a non-None string holding the task's formatted traceback text
+    (ending in the usual ``"ExcType: message"`` line -- the task
+    raised and exhausted its retries).  ``elapsed`` is the task's
+    wall-clock time
     (summed over attempts) and ``worker`` the pid of the process that
     ran it -- telemetry that rides back across the process boundary.
     """
@@ -90,10 +94,16 @@ def _call_bounded(
     fn: Callable[..., Any], args: Tuple[Any, ...], timeout: Optional[float]
 ) -> Any:
     """Call ``fn(*args)``, raising :class:`TaskTimeout` after ``timeout``
-    wall-clock seconds when preemption is available (best effort
-    otherwise)."""
-    if timeout is None or not _alarm_usable():
+    wall-clock seconds.
+
+    ``SIGALRM`` preempts the task where it can (main thread of a POSIX
+    process -- the serial path and pool workers); everywhere else a
+    watchdog thread supplies the same timeout semantics.
+    """
+    if timeout is None:
         return fn(*args)
+    if not _alarm_usable():
+        return _call_watchdog(fn, args, timeout)
 
     def _on_alarm(_signum: int, _frame: Any) -> None:
         raise TaskTimeout(f"task exceeded {timeout:g}s wall clock")
@@ -105,6 +115,38 @@ def _call_bounded(
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+
+
+def _call_watchdog(
+    fn: Callable[..., Any], args: Tuple[Any, ...], timeout: float
+) -> Any:
+    """Timeout fallback for callers SIGALRM cannot serve.
+
+    Runs the task in a daemon thread and joins with ``timeout``.  A
+    task that overruns is *abandoned*, not interrupted -- the daemon
+    thread keeps burning its CPU until it finishes or the process
+    exits -- but the caller gets the same :class:`TaskTimeout` at the
+    same wall-clock moment as the SIGALRM path, which is what the
+    per-task timeout contract promises.
+    """
+    box: Dict[str, Any] = {}
+
+    def _target() -> None:
+        try:
+            box["value"] = fn(*args)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            box["exc"] = exc
+
+    worker = threading.Thread(
+        target=_target, name="repro-task-watchdog", daemon=True
+    )
+    worker.start()
+    worker.join(timeout)
+    if worker.is_alive():
+        raise TaskTimeout(f"task exceeded {timeout:g}s wall clock")
+    if "exc" in box:
+        raise box["exc"]
+    return box["value"]
 
 
 # A chunk record travelling back from a worker:
@@ -139,7 +181,11 @@ def _run_one(
                 return (
                     index,
                     None,
-                    f"{type(exc).__name__}: {exc}",
+                    "".join(
+                        traceback.format_exception(
+                            type(exc), exc, exc.__traceback__
+                        )
+                    ),
                     False,
                     attempts,
                     time.perf_counter() - started,
@@ -159,6 +205,44 @@ def _run_chunk(
         _run_one(fn, shared, index, item, timeout, retries)
         for index, item in pairs
     ]
+
+
+# Hook point for repro.runtime.chaos: when installed, every fn handed
+# to parallel_map is passed through the wrapper before dispatch (and
+# therefore before picklability is probed), letting the chaos harness
+# deterministically inject worker crashes, hangs, exceptions and
+# corrupted pickles without the engine knowing it is under test.
+_TASK_WRAPPER: Optional[Callable[[Callable[..., Any]], Callable[..., Any]]] = None
+
+
+def install_task_wrapper(
+    wrapper: Optional[Callable[[Callable[..., Any]], Callable[..., Any]]],
+) -> Optional[Callable[[Callable[..., Any]], Callable[..., Any]]]:
+    """Install (or clear, with None) the task wrapper; returns the
+    previously installed one so scopes can restore it."""
+    global _TASK_WRAPPER
+    previous = _TASK_WRAPPER
+    _TASK_WRAPPER = wrapper
+    return previous
+
+
+def run_task_inline(
+    fn: Callable[..., Any],
+    shared: Any,
+    item: Any,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+) -> TaskOutcome:
+    """Run one task in-process through the engine's task machinery.
+
+    Degradation re-runs (quarantined faults replayed on the
+    interpreter oracle) use this instead of calling ``fn`` directly so
+    an error produces byte-for-byte the same traceback text as the
+    pool path -- the differential tests compare campaign error
+    messages across kernels and worker counts.
+    """
+    return TaskOutcome(*_run_one(fn, shared, 0, item, timeout, retries))
 
 
 def _picklable(payload: Any) -> bool:
@@ -191,6 +275,8 @@ def parallel_map(
     work = list(items)
     if not work:
         return []
+    if _TASK_WRAPPER is not None:
+        fn = _TASK_WRAPPER(fn)
     jobs = max(1, int(jobs))
     if jobs == 1 or len(work) == 1 or not _picklable((fn, shared)):
         with span("parallel.map", items=len(work), jobs=1, mode="serial"):

@@ -1,10 +1,14 @@
-"""BLIF export for netlists (SIS interchange).
+"""BLIF import/export for netlists (SIS interchange).
 
 The paper's implicit traversal ran inside SIS, whose circuit input
 format is BLIF.  :func:`to_blif` renders a netlist as a BLIF model —
 ``.inputs/.outputs``, one ``.latch`` per register (with reset value),
 and one ``.names`` cover per logic function — so a derived test model
-can be handed to SIS/ABC-era tooling directly.
+can be handed to SIS/ABC-era tooling directly.  :func:`from_blif`
+reads the format back: ``.names`` on-set covers become sum-of-products
+expressions, intermediate nets are inlined by substitution, and
+``.latch`` lines become registers, so circuits round-trip with
+SIS-era tools (and with ourselves).
 
 Logic covers are produced by enumerating each function's BDD
 (SAT enumeration over its support), which yields a correct if not
@@ -14,14 +18,16 @@ for control logic.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
-from .expr import Expr, support
+from ..core.parse import ParseError
+from .expr import Expr, FALSE, TRUE, Var, and_, not_, or_, substitute, support
 from .netlist import Netlist
 
 
-class BlifError(Exception):
-    """Raised when a netlist cannot be rendered."""
+class BlifError(ParseError):
+    """Raised when a netlist cannot be rendered, or on malformed BLIF
+    text (a :class:`repro.core.parse.ParseError` with file/line)."""
 
 
 def _sanitize(name: str) -> str:
@@ -91,3 +97,212 @@ def to_blif(netlist: Netlist, model: Optional[str] = None) -> str:
         lines.extend(_cover(expr, manager, _sanitize(out_name)))
     lines.append(".end")
     return "\n".join(lines) + "\n"
+
+
+def _logical_lines(text: str) -> List[Tuple[int, str]]:
+    """(line_no, text) pairs with ``\\`` continuations joined and
+    comments stripped; line_no is where the logical line started."""
+    lines: List[Tuple[int, str]] = []
+    pending: Optional[Tuple[int, str]] = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        piece = raw.split("#", 1)[0].rstrip()
+        if pending is not None:
+            start, acc = pending
+            piece = acc + " " + piece.strip()
+            line_no = start
+        if piece.endswith("\\"):
+            pending = (line_no, piece[:-1].rstrip())
+            continue
+        pending = None
+        if piece.strip():
+            lines.append((line_no, piece.strip()))
+    if pending is not None and pending[1].strip():
+        lines.append(pending)
+    return lines
+
+
+class _Cover:
+    """One ``.names`` block under construction."""
+
+    __slots__ = ("fanins", "net", "rows", "line")
+
+    def __init__(self, fanins: List[str], net: str, line: int) -> None:
+        self.fanins = fanins
+        self.net = net
+        self.rows: List[str] = []
+        self.line = line
+
+
+def _cover_expr(cover: _Cover) -> Expr:
+    """The SOP expression of one parsed cover (over fan-in Vars)."""
+    if not cover.fanins:
+        # Constant net: a single "1" row means TRUE, no rows FALSE.
+        return TRUE if cover.rows else FALSE
+    terms: List[Expr] = []
+    for row in cover.rows:
+        literals: List[Expr] = []
+        for bit, fanin in zip(row, cover.fanins):
+            if bit == "1":
+                literals.append(Var(fanin))
+            elif bit == "0":
+                literals.append(not_(Var(fanin)))
+            # '-' leaves the fan-in unconstrained.
+        terms.append(and_(*literals) if literals else TRUE)
+    return or_(*terms) if terms else FALSE
+
+
+def from_blif(
+    text: str, name: Optional[str] = None, path: Optional[str] = None
+) -> Netlist:
+    """Parse a single-model BLIF description into a :class:`Netlist`.
+
+    Supports the subset :func:`to_blif` writes plus the common SIS
+    idioms: ``.model/.inputs/.outputs/.latch/.names/.end``, ``\\``
+    line continuations, ``#`` comments, ``-`` don't-cares in cover
+    rows.  ``.names`` covers must be on-set covers (rows ending in
+    ``1``); intermediate nets are inlined by substitution, so the
+    resulting netlist contains only primary inputs and registers.
+    Malformed text raises :class:`BlifError` with the file path (when
+    given) and line number.
+    """
+    model_name: Optional[str] = None
+    inputs: List[str] = []
+    outputs: List[str] = []
+    # reg -> (driving net, init value, line)
+    latches: Dict[str, Tuple[str, bool, int]] = {}
+    covers: Dict[str, _Cover] = {}
+    open_cover: Optional[_Cover] = None
+    seen_end = False
+
+    def fail(message: str, line: int) -> "BlifError":
+        return BlifError(message, path=path, line=line)
+
+    for line_no, line in _logical_lines(text):
+        if seen_end:
+            raise fail(f"text after .end: {line!r}", line_no)
+        if not line.startswith("."):
+            if open_cover is None:
+                raise fail(
+                    f"cover row {line!r} outside a .names block", line_no
+                )
+            parts = line.split()
+            if len(parts) == 1 and not open_cover.fanins:
+                row_in, row_out = "", parts[0]
+            elif len(parts) == 2:
+                row_in, row_out = parts
+            else:
+                raise fail(f"bad cover row {line!r}", line_no)
+            if row_out != "1":
+                raise fail(
+                    f"unsupported cover row {line!r}: only on-set "
+                    f"covers (output '1') are supported", line_no
+                )
+            if len(row_in) != len(open_cover.fanins):
+                raise fail(
+                    f"cover row {line!r} has {len(row_in)} literals "
+                    f"for {len(open_cover.fanins)} fan-ins", line_no
+                )
+            if any(bit not in "01-" for bit in row_in):
+                raise fail(
+                    f"cover row {line!r} has bits outside '01-'",
+                    line_no,
+                )
+            open_cover.rows.append(row_in)
+            continue
+        open_cover = None
+        parts = line.split()
+        keyword, args = parts[0], parts[1:]
+        if keyword == ".model":
+            if len(args) != 1:
+                raise fail(f"bad .model line {line!r}", line_no)
+            if model_name is not None:
+                raise fail(
+                    "multiple .model lines (one model per file)",
+                    line_no,
+                )
+            model_name = args[0]
+        elif keyword == ".inputs":
+            inputs.extend(args)
+        elif keyword == ".outputs":
+            outputs.extend(args)
+        elif keyword == ".latch":
+            # .latch <input> <output> [<type> <control>] [<init>]
+            if len(args) not in (2, 3, 4, 5):
+                raise fail(f"bad .latch line {line!r}", line_no)
+            driver, reg = args[0], args[1]
+            init_token = "0"
+            if len(args) in (3, 5):
+                init_token = args[-1]
+            if init_token not in ("0", "1"):
+                raise fail(
+                    f"latch {reg!r} needs a concrete init value (0 or "
+                    f"1), got {init_token!r}", line_no
+                )
+            if reg in latches:
+                raise fail(f"latch {reg!r} defined twice", line_no)
+            latches[reg] = (driver, init_token == "1", line_no)
+        elif keyword == ".names":
+            if not args:
+                raise fail("bad .names line: no output net", line_no)
+            net = args[-1]
+            if net in covers:
+                raise fail(f"net {net!r} driven twice", line_no)
+            open_cover = covers[net] = _Cover(
+                list(args[:-1]), net, line_no
+            )
+        elif keyword == ".end":
+            seen_end = True
+        else:
+            raise fail(f"unsupported construct {keyword!r}", line_no)
+
+    leaves: Set[str] = set(inputs) | set(latches)
+    resolved: Dict[str, Expr] = {}
+
+    def resolve(net: str, stack: Tuple[str, ...], line: int) -> Expr:
+        """The expression of ``net`` over primary inputs/registers."""
+        if net in leaves:
+            return Var(net)
+        if net in resolved:
+            return resolved[net]
+        if net in stack:
+            cycle = " -> ".join(stack[stack.index(net):] + (net,))
+            raise fail(f"combinational cycle: {cycle}", line)
+        cover = covers.get(net)
+        if cover is None:
+            raise fail(f"net {net!r} is never driven", line)
+        expr = substitute(
+            _cover_expr(cover),
+            {
+                fanin: resolve(fanin, stack + (net,), cover.line)
+                for fanin in set(cover.fanins) - leaves
+            },
+        )
+        resolved[net] = expr
+        return expr
+
+    netlist = Netlist(
+        name if name is not None else (model_name or "blif")
+    )
+    for input_name in inputs:
+        if input_name in latches:
+            raise fail(
+                f"{input_name!r} is both an input and a latch output",
+                latches[input_name][2],
+            )
+        netlist.add_input(input_name)
+    for reg, (_driver, init, _line) in latches.items():
+        netlist.add_register(reg, init=init)
+    for reg, (driver, _init, line) in latches.items():
+        netlist.set_next(reg, resolve(driver, (), line))
+    for output_name in outputs:
+        line = covers[output_name].line if output_name in covers else 1
+        netlist.add_output(output_name, resolve(output_name, (), line))
+    netlist.validate()
+    return netlist
+
+
+def load_blif(path: str, name: Optional[str] = None) -> Netlist:
+    """Read and parse a BLIF file; errors carry the file path."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return from_blif(text, name=name, path=str(path))

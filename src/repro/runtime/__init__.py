@@ -1,0 +1,85 @@
+"""Crash-tolerant campaign runtime.
+
+Large validation campaigns run for hours on machines that get
+rebooted, preempted and OOM-killed; a campaign that cannot survive
+that is a campaign nobody trusts on real workloads.  This package
+adds the three pieces the paper's methodology needs to run unattended:
+
+* :mod:`repro.runtime.journal` -- checksummed write-ahead journal and
+  run-directory manifest (a verdict counts only once journaled).
+* :mod:`repro.runtime.runner` -- journaled, resumable campaign
+  drivers whose resumed reports are byte-identical to uninterrupted
+  runs.
+* :mod:`repro.runtime.chaos` -- deterministic failure injection
+  (worker SIGKILLs, hangs, task errors, corrupt results) used by the
+  test suite to *prove* the first two under fire.
+
+Graceful kernel degradation (quarantine + interpreter-oracle re-run)
+lives with the sweep cores in :mod:`repro.faults.campaign` and
+:mod:`repro.validation.harness`; this package surfaces it through the
+``degraded`` result flags and the ``runtime.*`` metrics namespace.
+"""
+
+from .chaos import (
+    ChaosError,
+    ChaosPlan,
+    ChaoticTask,
+    chaos_scope,
+    parse_plan,
+)
+from .journal import (
+    FORMAT_VERSION,
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    METRICS_NAME,
+    REPORT_NAME,
+    Journal,
+    JournalReplay,
+    ManifestMismatch,
+    RunDirError,
+    atomic_write_json,
+    check_manifest,
+    read_manifest,
+    write_manifest,
+)
+from .runner import (
+    DEFAULT_SLICE,
+    BugCampaignRun,
+    CampaignRun,
+    ReplayedMismatch,
+    ResumeStats,
+    RunPaths,
+    run_bug_campaign_resumable,
+    run_campaign_resumable,
+    run_paths,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "JOURNAL_NAME",
+    "MANIFEST_NAME",
+    "METRICS_NAME",
+    "REPORT_NAME",
+    "DEFAULT_SLICE",
+    "BugCampaignRun",
+    "CampaignRun",
+    "ChaosError",
+    "ChaosPlan",
+    "ChaoticTask",
+    "Journal",
+    "JournalReplay",
+    "ManifestMismatch",
+    "ReplayedMismatch",
+    "ResumeStats",
+    "RunDirError",
+    "RunPaths",
+    "atomic_write_json",
+    "chaos_scope",
+    "check_manifest",
+    "parse_plan",
+    "read_manifest",
+    "run_bug_campaign_resumable",
+    "run_campaign_resumable",
+    "run_paths",
+    "write_manifest",
+]

@@ -1,0 +1,458 @@
+"""Journaled, resumable campaign runs.
+
+The plain campaign drivers (:func:`repro.faults.run_campaign`,
+:func:`repro.validation.run_bug_campaign`) hold all state in memory: a
+``SIGKILL`` at fault 9,999 of 10,000 loses everything.  The runners
+here wrap the same verdict cores (``sweep_verdicts`` /
+``sweep_bug_verdicts``) in a run directory with a manifest and a
+checksummed write-ahead journal:
+
+* A verdict **counts only once journaled** -- slices of faults are
+  swept, appended to the journal, and fsynced before the runner moves
+  on.  Killing the process at any instant loses at most one in-flight
+  slice.
+* **Resume replays the journal** (dropping torn/corrupt lines by
+  checksum), verifies the manifest still matches the run's identity
+  (machine/test fingerprints, fault digest, kernel, timeout), and
+  re-simulates only the missing or provisional entries.
+* The final ``report.json`` and ``metrics.json`` are **byte-identical
+  to an uninterrupted run**: verdicts are order-kept by fault index,
+  timed-out verdicts are journaled as *provisional* and re-run on
+  resume (wall-clock timeouts are environment facts, not properties
+  of the mutant -- the same rule that keeps them out of the memo
+  cache), and the metrics dump is the deterministic subset only.
+
+Degradation (quarantined tasks re-run on the interpreter oracle) is
+inherited from the sweep cores; it changes no verdict and therefore
+no report byte, but it flips the result's ``degraded`` flag, which
+the CLI turns into exit status 3.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..dlx.buggy import BUG_CATALOG, BugEntry
+from ..faults.campaign import (
+    CampaignResult,
+    FaultVerdict,
+    _check_kernel,
+    _record_campaign_metrics,
+    sweep_verdicts,
+)
+from ..faults.inject import Fault, all_single_faults
+from ..obs import scoped_registry, span
+from ..parallel import (
+    battery_fingerprint,
+    inputs_fingerprint,
+    machine_fingerprint,
+)
+from ..validation.harness import (
+    _record_bug_campaign_metrics,
+    expected_stream,
+    sweep_bug_verdicts,
+)
+from ..validation.report import BugCampaignResult, BugCampaignRow
+from .journal import (
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    METRICS_NAME,
+    REPORT_NAME,
+    Journal,
+    JournalReplay,
+    RunDirError,
+    atomic_write_json,
+    check_manifest,
+    journal_digest,
+    read_manifest,
+    write_manifest,
+)
+
+#: Verdicts per journal slice: one sweep + one fsync per slice.  Small
+#: enough that a crash re-simulates little, large enough that the
+#: fsync cost stays invisible next to the simulations.
+DEFAULT_SLICE = 64
+
+
+@dataclass(frozen=True)
+class ResumeStats:
+    """What a (possibly resumed) run did and did not re-simulate."""
+
+    #: Verdicts accepted straight from the journal.
+    replayed: int = 0
+    #: Journaled-but-provisional entries (timeouts) re-simulated.
+    provisional: int = 0
+    #: Torn/corrupt journal lines dropped during replay.
+    dropped: int = 0
+    #: Verdicts simulated (fresh or re-run) by this invocation.
+    executed: int = 0
+
+
+@dataclass(frozen=True)
+class RunPaths:
+    """The files of one run directory."""
+
+    run_dir: str
+    manifest: str
+    journal: str
+    report: str
+    metrics: str
+
+
+def run_paths(run_dir: str) -> RunPaths:
+    run_dir = os.fspath(run_dir)
+    return RunPaths(
+        run_dir=run_dir,
+        manifest=os.path.join(run_dir, MANIFEST_NAME),
+        journal=os.path.join(run_dir, JOURNAL_NAME),
+        report=os.path.join(run_dir, REPORT_NAME),
+        metrics=os.path.join(run_dir, METRICS_NAME),
+    )
+
+
+def _prepare_run_dir(
+    paths: RunPaths,
+    identity: Dict[str, Any],
+    settings: Dict[str, Any],
+    resume: bool,
+) -> JournalReplay:
+    """Initialize (fresh) or verify (resume) a run directory; returns
+    the journal replay (empty for a fresh run)."""
+    if resume:
+        manifest = read_manifest(paths.manifest)
+        check_manifest(manifest, identity)
+        return Journal.replay(paths.journal)
+    if os.path.exists(paths.manifest):
+        raise RunDirError(
+            f"run directory {paths.run_dir!r} already holds a campaign "
+            f"(manifest present); pass resume=True to continue it or "
+            f"choose a fresh directory"
+        )
+    os.makedirs(paths.run_dir, exist_ok=True)
+    write_manifest(paths.manifest, identity, settings)
+    return JournalReplay(records=(), dropped=0)
+
+
+def _slices(indices: Sequence[int], size: int) -> List[List[int]]:
+    size = max(1, int(size))
+    return [
+        list(indices[i:i + size]) for i in range(0, len(indices), size)
+    ]
+
+
+def _write_outputs(
+    paths: RunPaths,
+    report: Dict[str, Any],
+    record_metrics: Callable[[], None],
+) -> None:
+    """Write report.json and metrics.json atomically.
+
+    Metrics are recorded into a *fresh scoped registry* from the fully
+    assembled verdicts and reduced to the deterministic subset, so the
+    files depend only on the verdicts -- not on worker count, not on
+    how many times the run was killed and resumed, and not on any
+    registry the caller (e.g. the CLI's ``--metrics`` flag) installed.
+    """
+    with scoped_registry() as registry:
+        record_metrics()
+        metrics = registry.deterministic_dump()
+    atomic_write_json(paths.report, report)
+    atomic_write_json(paths.metrics, metrics)
+
+
+# --------------------------------------------------------------------
+# FSM fault campaigns
+# --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignRun:
+    """A finished (possibly resumed) FSM campaign run."""
+
+    result: CampaignResult
+    stats: ResumeStats
+    paths: RunPaths
+
+
+def run_campaign_resumable(
+    spec: Any,
+    inputs: Sequence[Any],
+    faults: Optional[Sequence[Fault]] = None,
+    *,
+    run_dir: str,
+    resume: bool = False,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    kernel: str = "compiled",
+    slice_size: int = DEFAULT_SLICE,
+) -> CampaignRun:
+    """:func:`repro.faults.run_campaign` with a journaled run dir.
+
+    Identity (manifest-pinned, resume-enforced): machine structure,
+    test set, fault population, kernel and timeout -- everything a
+    verdict depends on.  ``jobs``/``retries``/``slice_size`` are
+    recorded but may change across resumes; verdicts are independent
+    of them by the differential guarantee.
+    """
+    _check_kernel(kernel)
+    population = (
+        all_single_faults(spec) if faults is None else list(faults)
+    )
+    test = tuple(inputs)
+    identity = {
+        "kind": "fsm",
+        "machine": spec.name,
+        "machine_fingerprint": machine_fingerprint(spec),
+        "test_fingerprint": inputs_fingerprint(test),
+        "fault_count": len(population),
+        "fault_digest": journal_digest(repr(f) for f in population),
+        "kernel": kernel,
+        "timeout": timeout,
+    }
+    settings = {
+        "jobs": jobs, "retries": retries, "slice_size": slice_size
+    }
+    paths = run_paths(run_dir)
+    with span(
+        "runtime.campaign",
+        machine=spec.name,
+        faults=len(population),
+        resume=resume,
+    ):
+        replay = _prepare_run_dir(paths, identity, settings, resume)
+        verdicts: List[Optional[FaultVerdict]] = [None] * len(population)
+        provisional = 0
+        for record in replay.records:
+            index = record.get("i")
+            if not isinstance(index, int) or not 0 <= index < len(population):
+                continue
+            if record.get("timed_out"):
+                # Provisional: a wall-clock timeout says more about the
+                # machine the run died on than about the mutant.
+                provisional += 1
+                verdicts[index] = None
+                continue
+            verdicts[index] = FaultVerdict(
+                detected=bool(record.get("detected")),
+                degraded=bool(record.get("degraded")),
+            )
+        replayed = sum(1 for v in verdicts if v is not None)
+        pending = [i for i, v in enumerate(verdicts) if v is None]
+        with Journal(paths.journal) as journal:
+            for chunk in _slices(pending, slice_size):
+                swept = sweep_verdicts(
+                    spec, test, [population[i] for i in chunk],
+                    jobs=jobs, timeout=timeout, retries=retries,
+                    kernel=kernel,
+                )
+                for index, verdict in zip(chunk, swept):
+                    journal.append({
+                        "i": index,
+                        "detected": verdict.detected,
+                        "timed_out": verdict.timed_out,
+                        "degraded": verdict.degraded,
+                    })
+                    verdicts[index] = verdict
+                journal.sync()
+        assert all(v is not None for v in verdicts)
+        timed_out = {i for i, v in enumerate(verdicts) if v.timed_out}
+        result = CampaignResult(
+            machine_name=spec.name,
+            test_length=len(test),
+            detected=tuple(
+                f for f, v in zip(population, verdicts) if v.detected
+            ),
+            escaped=tuple(
+                f for f, v in zip(population, verdicts) if not v.detected
+            ),
+            degraded=any(v.degraded for v in verdicts),
+        )
+        _write_outputs(
+            paths,
+            result.to_json_dict(),
+            lambda: _record_campaign_metrics(
+                spec, test, population,
+                [v.detected for v in verdicts], timed_out, result,
+            ),
+        )
+    return CampaignRun(
+        result=result,
+        stats=ResumeStats(
+            replayed=replayed,
+            provisional=provisional,
+            dropped=replay.dropped,
+            executed=len(pending),
+        ),
+        paths=paths,
+    )
+
+
+# --------------------------------------------------------------------
+# DLX bug-catalog campaigns
+# --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplayedMismatch:
+    """A mismatch reconstructed from the journal.
+
+    The report renders mismatches via ``str()`` and the metrics need
+    only ``.index``, so persisting (index, rendered text) is enough to
+    reproduce both byte-for-byte without pickling spec/impl values.
+    """
+
+    index: int
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+@dataclass(frozen=True)
+class BugCampaignRun:
+    """A finished (possibly resumed) DLX bug-catalog run."""
+
+    result: BugCampaignResult
+    stats: ResumeStats
+    paths: RunPaths
+
+
+def run_bug_campaign_resumable(
+    tests: Sequence[Tuple],
+    catalog: Sequence[BugEntry] = BUG_CATALOG,
+    test_name: str = "test-set",
+    *,
+    run_dir: str,
+    resume: bool = False,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    kernel: str = "compiled",
+    slice_size: int = DEFAULT_SLICE,
+) -> BugCampaignRun:
+    """:func:`repro.validation.run_bug_campaign` with a journaled run
+    dir; same journal/resume semantics as the FSM runner."""
+    if kernel not in ("interp", "compiled"):
+        raise ValueError(
+            f"unknown kernel {kernel!r}: expected one of "
+            f"('interp', 'compiled')"
+        )
+    catalog = list(catalog)
+    identity = {
+        "kind": "dlx",
+        "test_name": test_name,
+        "battery_fingerprint": battery_fingerprint(
+            [(p, dict(d) if d else None, o) for p, d, o in tests]
+        ),
+        "catalog_count": len(catalog),
+        "catalog_digest": journal_digest(
+            f"{entry.name}:{entry.bugs!r}" for entry in catalog
+        ),
+        "kernel": kernel,
+        "timeout": timeout,
+    }
+    settings = {
+        "jobs": jobs, "retries": retries, "slice_size": slice_size
+    }
+    paths = run_paths(run_dir)
+    with span(
+        "runtime.bugcampaign",
+        test_name=test_name,
+        catalog=len(catalog),
+        resume=resume,
+    ):
+        replay = _prepare_run_dir(paths, identity, settings, resume)
+        rows: List[Optional[BugCampaignRow]] = [None] * len(catalog)
+        degraded = False
+        provisional = 0
+        for record in replay.records:
+            index = record.get("i")
+            if not isinstance(index, int) or not 0 <= index < len(catalog):
+                continue
+            entry = catalog[index]
+            if record.get("bug") != entry.name:
+                continue
+            if record.get("timed_out"):
+                provisional += 1
+                rows[index] = None
+                continue
+            text = record.get("mismatch")
+            mismatch = (
+                ReplayedMismatch(
+                    index=int(record.get("mismatch_index") or 0),
+                    text=text,
+                )
+                if isinstance(text, str)
+                else None
+            )
+            rows[index] = BugCampaignRow(
+                bug_name=entry.name,
+                mechanism=entry.mechanism,
+                detected=bool(record.get("detected")),
+                mismatch=mismatch,
+            )
+            degraded = degraded or bool(record.get("degraded"))
+        replayed = sum(1 for r in rows if r is not None)
+        pending = [i for i, r in enumerate(rows) if r is None]
+        prepared = tuple(
+            (
+                tuple(program),
+                tuple(sorted(data.items())) if data else None,
+                tuple(oracle) if oracle is not None else None,
+                tuple(expected_stream(list(program), data, oracle)),
+            )
+            for program, data, oracle in tests
+        )
+        with Journal(paths.journal) as journal:
+            for chunk in _slices(pending, slice_size):
+                verdicts = sweep_bug_verdicts(
+                    prepared, [catalog[i] for i in chunk],
+                    jobs=jobs, timeout=timeout, retries=retries,
+                    kernel=kernel,
+                )
+                for index, verdict in zip(chunk, verdicts):
+                    entry = catalog[index]
+                    mismatch = verdict.mismatch
+                    journal.append({
+                        "i": index,
+                        "bug": entry.name,
+                        "detected": verdict.detected,
+                        "timed_out": verdict.timed_out,
+                        "degraded": verdict.degraded,
+                        "mismatch": (
+                            str(mismatch) if mismatch is not None else None
+                        ),
+                        "mismatch_index": (
+                            mismatch.index if mismatch is not None else None
+                        ),
+                    })
+                    rows[index] = BugCampaignRow(
+                        bug_name=entry.name,
+                        mechanism=entry.mechanism,
+                        detected=verdict.detected,
+                        mismatch=mismatch,
+                    )
+                    degraded = degraded or verdict.degraded
+                journal.sync()
+        assert all(r is not None for r in rows)
+        result = BugCampaignResult(
+            test_name=test_name, rows=tuple(rows), degraded=degraded
+        )
+        _write_outputs(
+            paths,
+            result.to_json_dict(),
+            lambda: _record_bug_campaign_metrics(result),
+        )
+    return BugCampaignRun(
+        result=result,
+        stats=ResumeStats(
+            replayed=replayed,
+            provisional=provisional,
+            dropped=replay.dropped,
+            executed=len(pending),
+        ),
+        paths=paths,
+    )

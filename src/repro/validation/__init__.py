@@ -3,10 +3,12 @@
 from .checkpoints import compare_checkpoint, compare_streams
 from .harness import (
     BugCampaignError,
+    BugVerdict,
     campaign_from_concrete_test,
     expected_stream,
     measure_latencies,
     run_bug_campaign,
+    sweep_bug_verdicts,
     validate,
     validate_concrete_test,
 )
@@ -22,6 +24,7 @@ __all__ = [
     "BugCampaignError",
     "BugCampaignResult",
     "BugCampaignRow",
+    "BugVerdict",
     "expected_stream",
     "ConcreteTest",
     "ConversionError",
@@ -33,6 +36,7 @@ __all__ = [
     "fill_inputs",
     "measure_latencies",
     "run_bug_campaign",
+    "sweep_bug_verdicts",
     "validate",
     "validate_concrete_test",
 ]

@@ -10,6 +10,8 @@ Theorem 3 certificate for the DLX model.
 
 from __future__ import annotations
 
+import time
+import traceback
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -25,6 +27,7 @@ from ..parallel import (
     battery_fingerprint,
     parallel_map,
     parallel_map_batched,
+    run_task_inline,
 )
 from .checkpoints import compare_streams
 from .report import (
@@ -39,6 +42,23 @@ from .testgen import ConcreteTest
 class BugCampaignError(RuntimeError):
     """A bug-campaign task failed (after retries) instead of returning
     a verdict; raised rather than silently mislabelling the bug."""
+
+
+#: Bounded exponential backoff for quarantined catalog-entry re-runs
+#: (mirrors repro.faults.campaign's degradation policy).
+DEGRADE_ATTEMPTS = 3
+DEGRADE_BACKOFF = 0.02
+
+
+@dataclass(frozen=True)
+class BugVerdict:
+    """One catalog entry's verdict plus how it was obtained (the DLX
+    analogue of :class:`repro.faults.campaign.FaultVerdict`)."""
+
+    detected: bool
+    mismatch: Optional[Mismatch]
+    timed_out: bool = False
+    degraded: bool = False
 
 
 def expected_stream(
@@ -184,8 +204,120 @@ def _bug_entry_batch_task(
             # batch: let the executor record it as timed out.
             raise
         except Exception as exc:  # noqa: BLE001 - reported per entry
-            results.append(("err", f"{type(exc).__name__}: {exc}"))
+            results.append((
+                "err",
+                "".join(traceback.format_exception(
+                    type(exc), exc, exc.__traceback__
+                )),
+            ))
     return results
+
+
+def _rerun_entry_on_oracle(
+    shared: Tuple[Tuple, ...], entry: BugEntry
+) -> Tuple[bool, Optional[Mismatch]]:
+    """Replay one quarantined catalog entry in-process.
+
+    Same policy as the FSM campaign's degradation path: bounded
+    exponential backoff for transient failures, and a deterministic
+    failure raises through :func:`run_task_inline` so the error text
+    matches the direct path byte-for-byte.
+    """
+    delay = DEGRADE_BACKOFF
+    error: Optional[str] = None
+    for attempt in range(DEGRADE_ATTEMPTS):
+        if attempt:
+            time.sleep(delay)
+            delay *= 2
+            get_registry().counter("runtime.degrade_retries_total").inc()
+        outcome = run_task_inline(_bug_entry_task, shared, entry)
+        if outcome.ok:
+            detected, mismatch = outcome.value
+            return (bool(detected), mismatch)
+        error = outcome.error
+    raise BugCampaignError(
+        f"catalog bug {entry.name!r} failed to simulate: {error}"
+    )
+
+
+def sweep_bug_verdicts(
+    prepared: Tuple[Tuple, ...],
+    entries: Sequence[BugEntry],
+    *,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    kernel: str = "compiled",
+) -> List[BugVerdict]:
+    """One :class:`BugVerdict` per catalog entry, in submission order.
+
+    The execution core shared by :func:`run_bug_campaign` and the
+    journaled runtime.  Task failures quarantine the affected entries
+    and re-run them in-process (graceful degradation) instead of
+    aborting the sweep; see
+    :func:`repro.faults.campaign.sweep_verdicts` for the rationale.
+    """
+    entries = list(entries)
+    if not entries:
+        return []
+    if kernel == "compiled":
+        # Keep at least jobs*4 batches in flight so a short catalog
+        # still fans out across every worker.
+        per_worker = -(-len(entries) // (max(1, int(jobs)) * 4))
+        outcomes = parallel_map_batched(
+            _bug_entry_batch_task, entries, shared=prepared, jobs=jobs,
+            timeout=timeout, retries=retries,
+            batch_size=max(1, min(MUTANT_BATCH, per_worker)),
+        )
+    else:
+        outcomes = parallel_map(
+            _bug_entry_task, entries, shared=prepared, jobs=jobs,
+            timeout=timeout, retries=retries,
+        )
+    verdicts: List[Optional[BugVerdict]] = [None] * len(entries)
+    quarantined: List[int] = []
+    for i, outcome in enumerate(outcomes):
+        error, value = outcome.error, outcome.value
+        if error is None and not outcome.timed_out and kernel == "compiled":
+            tag, payload = value
+            if tag == "err":
+                error = payload
+            else:
+                value = payload
+        if error is not None:
+            quarantined.append(i)
+            continue
+        if outcome.timed_out:
+            # The correct design always halts well inside the budget,
+            # so a timed-out mutant has visibly diverged: detected by
+            # crash, same as a livelock that exhausts max_cycles --
+            # just without the wait.
+            verdicts[i] = BugVerdict(
+                detected=True,
+                mismatch=Mismatch(
+                    0, "crash", "halt",
+                    f"per-fault timeout: exceeded {timeout:g}s "
+                    f"wall clock",
+                ),
+                timed_out=True,
+            )
+        else:
+            detected, mismatch = value
+            verdicts[i] = BugVerdict(
+                detected=bool(detected), mismatch=mismatch
+            )
+    if quarantined:
+        reg = get_registry()
+        reg.counter("runtime.degradations_total").inc()
+        reg.counter("runtime.quarantined_tasks_total").inc(len(quarantined))
+        for i in quarantined:
+            detected, mismatch = _rerun_entry_on_oracle(
+                prepared, entries[i]
+            )
+            verdicts[i] = BugVerdict(
+                detected=detected, mismatch=mismatch, degraded=True
+            )
+    return verdicts  # type: ignore[return-value] - all slots filled
 
 
 def run_bug_campaign(
@@ -254,66 +386,32 @@ def run_bug_campaign(
                 if hit is not CampaignCache.MISSING:
                     rows_by_index[i] = hit
         pending = [i for i in range(len(catalog)) if i not in rows_by_index]
+        degraded = False
         if pending:
-            if kernel == "compiled":
-                # Keep at least jobs*4 batches in flight so a short
-                # catalog still fans out across every worker.
-                per_worker = -(-len(pending) // (max(1, int(jobs)) * 4))
-                outcomes = parallel_map_batched(
-                    _bug_entry_batch_task,
-                    [catalog[i] for i in pending],
-                    shared=prepared,
-                    jobs=jobs,
-                    timeout=timeout,
-                    retries=retries,
-                    batch_size=max(1, min(MUTANT_BATCH, per_worker)),
-                )
-            else:
-                outcomes = parallel_map(
-                    _bug_entry_task,
-                    [catalog[i] for i in pending],
-                    shared=prepared,
-                    jobs=jobs,
-                    timeout=timeout,
-                    retries=retries,
-                )
-            for i, outcome in zip(pending, outcomes):
+            verdicts = sweep_bug_verdicts(
+                prepared,
+                [catalog[i] for i in pending],
+                jobs=jobs,
+                timeout=timeout,
+                retries=retries,
+                kernel=kernel,
+            )
+            for i, verdict in zip(pending, verdicts):
                 entry = catalog[i]
-                error, value = outcome.error, outcome.value
-                if error is None and not outcome.timed_out and kernel == "compiled":
-                    tag, payload = value
-                    if tag == "err":
-                        error = payload
-                    else:
-                        value = payload
-                if error is not None:
-                    raise BugCampaignError(
-                        f"catalog bug {entry.name!r} failed to simulate: "
-                        f"{error}"
-                    )
-                if outcome.timed_out:
-                    # The correct design always halts well inside the
-                    # budget, so a timed-out mutant has visibly
-                    # diverged: detected by crash, same as a livelock
-                    # that exhausts max_cycles -- just without the wait.
-                    detected, mismatch = True, Mismatch(
-                        0, "crash", "halt",
-                        f"per-fault timeout: exceeded {timeout:g}s "
-                        f"wall clock",
-                    )
-                else:
-                    detected, mismatch = value
                 row = BugCampaignRow(
                     bug_name=entry.name,
                     mechanism=entry.mechanism,
-                    detected=detected,
-                    mismatch=mismatch,
+                    detected=verdict.detected,
+                    mismatch=verdict.mismatch,
                 )
                 rows_by_index[i] = row
-                if cache is not None and not outcome.timed_out:
+                degraded = degraded or verdict.degraded
+                if cache is not None and not verdict.timed_out:
                     cache.store(keys[i], row)
         rows = tuple(rows_by_index[i] for i in range(len(catalog)))
-        result = BugCampaignResult(test_name=test_name, rows=rows)
+        result = BugCampaignResult(
+            test_name=test_name, rows=rows, degraded=degraded
+        )
         _record_bug_campaign_metrics(result)
     return result
 

@@ -82,10 +82,19 @@ class BugCampaignRow:
 
 @dataclass(frozen=True)
 class BugCampaignResult:
-    """Results of running a test set against the whole bug catalog."""
+    """Results of running a test set against the whole bug catalog.
+
+    ``degraded`` records that at least one row was produced by the
+    graceful-degradation path (quarantined task re-run in-process).
+    It is excluded from equality and JSON output on purpose: the
+    verdicts themselves are identical either way, and reports must
+    stay byte-identical across kernels and worker counts.  The signal
+    travels via ``runtime.*`` metrics and the CLI exit code instead.
+    """
 
     test_name: str
     rows: Tuple[BugCampaignRow, ...]
+    degraded: bool = field(default=False, compare=False)
 
     @property
     def detected(self) -> Tuple[BugCampaignRow, ...]:
