@@ -41,6 +41,7 @@ import sys
 from typing import Iterator, List, Optional
 
 from . import models as model_zoo
+from .tour.methods import SUITE_METHODS
 
 CANONICAL_MODELS = {
     "vending": model_zoo.vending_machine,
@@ -226,6 +227,73 @@ def _report_resume(stats, paths) -> None:
     )
 
 
+def _run_suite_campaign_cli(args: argparse.Namespace, machine) -> int:
+    """Run a W/Wp/HSI suite campaign for ``repro campaign --suite ...``.
+
+    The suite is lowered to one flat reset-separated input sequence
+    over the reset harness, so it rides the exact same executor paths
+    (jobs, kernel, run-dir journaling) as a transition tour.
+    """
+    from .core import suite_completeness_report
+    from .faults import run_campaign
+    from .tour import FaultDomain, SuiteError, generate_suite
+
+    try:
+        suite = generate_suite(
+            machine, args.suite,
+            FaultDomain(extra_states=args.extra_states),
+        )
+        ex = suite.executable(machine)
+    except SuiteError as exc:
+        print(f"cannot generate {args.suite} suite: {exc}", file=sys.stderr)
+        return 2
+    report = suite_completeness_report(machine, args.suite, suite.m)
+    if args.run_dir:
+        from .runtime import RunDirError, run_campaign_resumable
+
+        try:
+            run = run_campaign_resumable(
+                ex.machine, ex.inputs,
+                faults=list(ex.faults),
+                run_dir=args.run_dir,
+                resume=args.resume,
+                jobs=args.jobs,
+                timeout=args.timeout,
+                retries=args.retries,
+                kernel=args.kernel,
+                slice_size=args.journal_slice,
+            )
+        except RunDirError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        result = run.result
+        _report_resume(run.stats, run.paths)
+    else:
+        result = run_campaign(
+            ex.machine, ex.inputs,
+            faults=list(ex.faults),
+            jobs=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            kernel=args.kernel,
+        )
+    if args.json:
+        payload = result.to_json_dict()
+        payload["suite"] = suite.to_json_dict()
+        payload["completeness"] = report.to_json_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"model: {machine}")
+        print(
+            f"{args.suite} suite (m={suite.m}): "
+            f"{suite.num_sequences} sequences, "
+            f"{suite.total_steps} steps, jobs={args.jobs}"
+        )
+        print(report.explain())
+        print(result)
+    return _campaign_exit(result.coverage == 1.0, result.degraded)
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     if args.resume and not args.run_dir:
         print("--resume requires --run-dir", file=sys.stderr)
@@ -242,6 +310,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from .runtime import RunDirError, chaos_scope
 
     if args.target == "dlx":
+        if args.suite != "tour":
+            print(
+                "--suite w/wp/hsi needs an explicit Mealy specification; "
+                "the dlx target replays directed programs, so only "
+                "--suite tour applies",
+                file=sys.stderr,
+            )
+            return 2
         from .dlx.programs import DIRECTED_PROGRAMS
         from .validation import run_bug_campaign
 
@@ -296,6 +372,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         return 2
     with _observability(args), chaos_scope(chaos_plan):
         machine = builder()
+        if args.suite != "tour":
+            return _run_suite_campaign_cli(args, machine)
         tour = transition_tour(machine, method=args.method)
         if args.run_dir:
             from .runtime import run_campaign_resumable
@@ -434,6 +512,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp.add_argument(
         "--method", choices=("cpp", "greedy"), default="cpp"
+    )
+    camp.add_argument(
+        "--suite",
+        choices=("tour",) + SUITE_METHODS,
+        default="tour",
+        help="test-set construction: 'tour' replays a transition tour "
+        "(catches all output errors, Theorem 1), 'w'/'wp'/'hsi' "
+        "generate complete suites that also catch transfer errors for "
+        "any implementation in the m-state fault domain; suites run "
+        "through a reset harness on the same executor",
+    )
+    camp.add_argument(
+        "--extra-states",
+        type=int,
+        default=0,
+        metavar="K",
+        help="widen the fault domain to m = n + K implementation "
+        "states for --suite w/wp/hsi (suite length grows with K)",
     )
     camp.add_argument(
         "--timeout",

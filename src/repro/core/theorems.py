@@ -20,6 +20,7 @@ from typing import Optional, Sequence, Tuple
 from .abstraction import StateMap
 from .distinguish import ForallKReport, analyze_forall_k
 from .mealy import MealyMachine
+from .minimize import minimize
 from .requirements import (
     RequirementResult,
     check_uniform_output_errors,
@@ -146,4 +147,251 @@ def theorem3_certificate(
         k=report.k if complete else None,
         requirement_results=tuple(results),
         forall_k=report,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fault-domain (m-state) completeness: the W/Wp/HSI guarantee
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultDomainCertificate:
+    """Verdict that a W/Wp/HSI suite is complete for an m-state
+    fault domain.
+
+    The classical completeness theorems (Chow for W, Fujiwara et al.
+    for Wp, Petrenko/Yevtushenko for HSI) guarantee: if the
+    specification is initially connected, input-complete over its
+    alphabet and minimal, then the generated suite detects *every*
+    deterministic implementation over the same alphabet with at most
+    ``m`` states that is not trace-equivalent to the specification --
+    with no forall-k-distinguishability hypothesis at all.  This
+    certificate records those hypotheses checked mechanically.
+
+    Attributes
+    ----------
+    method:
+        The suite construction ("w", "wp" or "hsi").
+    complete:
+        True iff all hypotheses hold; the suite is then m-complete.
+    m:
+        The fault-domain bound (max implementation states).
+    spec_states:
+        States of the minimized specification (``n``; ``m >= n``).
+    checks:
+        The individual hypothesis verdicts backing the certificate.
+    """
+
+    method: str
+    complete: bool
+    m: int
+    spec_states: int
+    checks: Tuple[RequirementResult, ...]
+
+    def explain(self) -> str:
+        """Multi-line human-readable account of the verdict."""
+        lines = [
+            f"fault-domain ({self.method} method): suite is "
+            + (
+                f"COMPLETE for implementations with <= {self.m} states"
+                if self.complete
+                else "NOT certified complete"
+            )
+        ]
+        lines.append(
+            f"  minimized specification: {self.spec_states} states "
+            f"(domain allows {self.m - self.spec_states} extra)"
+        )
+        for r in self.checks:
+            lines.append("  " + str(r))
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "kind": "fault-domain",
+            "method": self.method,
+            "complete": self.complete,
+            "max_states": self.m,
+            "spec_states": self.spec_states,
+            "checks": [
+                {
+                    "requirement": r.requirement,
+                    "holds": bool(r),
+                    "detail": r.detail,
+                }
+                for r in self.checks
+            ],
+        }
+
+
+def fault_domain_certificate(
+    model: MealyMachine,
+    method: str,
+    m: int,
+) -> FaultDomainCertificate:
+    """Check the W/Wp/HSI hypotheses mechanically and certify.
+
+    The three hypotheses, each reported as a
+    :class:`~repro.core.requirements.RequirementResult`-style verdict:
+
+    * **FD1 (connected + complete)** -- the reachable part of the model
+      is input-complete over its alphabet (every test case is
+      simulable from every state the suite can land in).
+    * **FD2 (minimality witnessed)** -- minimization does not merge
+      reachable states, so characterization sets / identifiers exist
+      for the model as given.
+    * **FD3 (domain contains the spec)** -- ``m`` is at least the
+      minimized state count, so the correct implementation itself is
+      in the fault domain.
+    """
+    reach = model.restrict_to_reachable()
+    missing = reach.undefined_pairs()
+    fd1 = RequirementResult(
+        "FD1",
+        not missing,
+        tuple(missing[:5]),
+        "reachable part is input-complete over the valid alphabet"
+        if not missing
+        else f"{len(missing)} undefined (state, input) pairs",
+    )
+    mini = minimize(model)
+    merged = len(reach) - len(mini)
+    fd2 = RequirementResult(
+        "FD2",
+        merged == 0,
+        () if merged == 0 else (f"{merged} states merged",),
+        "model is minimal (identifiers exist for every state)"
+        if merged == 0
+        else f"minimization merges {merged} reachable states; the "
+        f"suite identifies the {len(mini)}-state quotient",
+    )
+    fd3 = RequirementResult(
+        "FD3",
+        m >= len(mini),
+        () if m >= len(mini) else ((m, len(mini)),),
+        f"fault domain (m={m}) contains the {len(mini)}-state "
+        f"specification"
+        if m >= len(mini)
+        else f"fault domain (m={m}) excludes the {len(mini)}-state "
+        f"specification",
+    )
+    checks = (fd1, fd2, fd3)
+    return FaultDomainCertificate(
+        method=method,
+        complete=all(bool(c) for c in checks),
+        m=m,
+        spec_states=len(mini),
+        checks=checks,
+    )
+
+
+@dataclass(frozen=True)
+class CompletenessReport:
+    """One reportable artifact unifying the repo's two completeness
+    stories.
+
+    * The **tour side** (Theorem 1 / Theorem 3): a transition tour is
+      complete for single output/transfer faults when the model is
+      forall-k-distinguishable (plus R1/R2-R5).
+    * The **fault-domain side** (W/Wp/HSI): a generated suite is
+      complete for *every* implementation with at most ``m`` states,
+      with no distinguishability hypothesis.
+
+    A campaign source carries whichever certificate backs it (both,
+    when a certified model is driven by a W-family suite); the
+    report renders and serializes them as one object, which is what
+    the CLI prints and ``--json`` emits.
+    """
+
+    machine_name: str
+    tour: Optional[CompletenessCertificate] = None
+    fault_domain: Optional[FaultDomainCertificate] = None
+
+    @property
+    def complete(self) -> bool:
+        """True iff at least one attached certificate is complete."""
+        return bool(
+            (self.tour is not None and self.tour.complete)
+            or (
+                self.fault_domain is not None
+                and self.fault_domain.complete
+            )
+        )
+
+    def explain(self) -> str:
+        lines = [f"completeness report for {self.machine_name}:"]
+        if self.tour is None and self.fault_domain is None:
+            lines.append("  no certificates attached")
+        if self.tour is not None:
+            lines.extend(
+                "  " + ln for ln in self.tour.explain().splitlines()
+            )
+        if self.fault_domain is not None:
+            lines.extend(
+                "  " + ln
+                for ln in self.fault_domain.explain().splitlines()
+            )
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> dict:
+        tour_dict = None
+        if self.tour is not None:
+            tour_dict = {
+                "kind": "tour",
+                "theorem": self.tour.theorem,
+                "complete": self.tour.complete,
+                "k": self.tour.k,
+                "requirements": [
+                    {
+                        "requirement": r.requirement,
+                        "holds": bool(r),
+                        "detail": r.detail,
+                    }
+                    for r in self.tour.requirement_results
+                ],
+            }
+        return {
+            "machine": self.machine_name,
+            "complete": self.complete,
+            "tour": tour_dict,
+            "fault_domain": (
+                None
+                if self.fault_domain is None
+                else self.fault_domain.to_json_dict()
+            ),
+        }
+
+
+def suite_completeness_report(
+    model: MealyMachine,
+    method: str,
+    m: int,
+    max_k: Optional[int] = None,
+    with_tour: bool = True,
+) -> CompletenessReport:
+    """The unified report for a W/Wp/HSI campaign source.
+
+    Always carries the fault-domain certificate; when ``with_tour``
+    is set and the model is input-complete, it also attaches the
+    Theorem-1 tour certificate (R1 holds automatically for a concrete
+    deterministic machine: a single-transition output fault is uniform
+    by Definition 2), so the report shows both what the tour *would*
+    certify and what the suite certifies regardless.
+    """
+    tour_cert: Optional[CompletenessCertificate] = None
+    if with_tour and not model.restrict_to_reachable().undefined_pairs():
+        uniformity = RequirementResult(
+            "R1",
+            True,
+            (),
+            "deterministic concrete machine: single-transition output "
+            "errors are uniform (Definition 2)",
+        )
+        tour_cert = theorem1_certificate(
+            model.restrict_to_reachable(), uniformity, max_k=max_k
+        )
+    return CompletenessReport(
+        machine_name=model.name,
+        tour=tour_cert,
+        fault_domain=fault_domain_certificate(model, method, m),
     )

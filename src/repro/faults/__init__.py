@@ -10,12 +10,14 @@ from .campaign import (
     compare_test_sets,
     format_comparison,
     run_campaign,
+    run_suite_campaign,
     sweep_verdicts,
 )
 from .inject import (
     all_output_faults,
     all_single_faults,
     all_transfer_faults,
+    extra_state_mutants,
     inject,
     inject_many,
     sample_faults,
@@ -45,11 +47,13 @@ __all__ = [
     "compare_test_sets",
     "detect_fault",
     "detection_latency",
+    "extra_state_mutants",
     "format_comparison",
     "inject",
     "inject_many",
     "pad_inputs",
     "run_campaign",
+    "run_suite_campaign",
     "sample_faults",
     "sweep_verdicts",
 ]

@@ -427,6 +427,45 @@ def _record_campaign_metrics(
     )
 
 
+def run_suite_campaign(
+    spec: MealyMachine,
+    suite,
+    *,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    cache: Optional[CampaignCache] = None,
+    kernel: str = "compiled",
+) -> CampaignResult:
+    """Campaign with a W/Wp/HSI :class:`~repro.tour.methods.TestSuite`
+    as the traffic source.
+
+    The suite is lowered onto the engine's native interface (reset-
+    augmented harness machine, flat reset-separated input sequence,
+    the spec's single-fault population) and then runs through the very
+    same executor paths as a tour campaign -- so ``jobs``, ``timeout``,
+    ``retries``, ``cache`` and ``kernel`` all behave identically, and
+    verdicts are byte-identical at any worker count on either kernel.
+
+    When the suite's fault-domain certificate holds, every single
+    output/transfer fault lies inside the m-state domain and the
+    campaign is predicted (and asserted by the test suite) to reach
+    coverage 1.0 -- including the transfer errors a bare tour misses
+    on non-forall-k-distinguishable models.
+    """
+    ex = suite.executable(spec)
+    return run_campaign(
+        ex.machine,
+        ex.inputs,
+        faults=list(ex.faults),
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        cache=cache,
+        kernel=kernel,
+    )
+
+
 def certified_tour_campaign(
     spec: MealyMachine,
     tour_inputs: Sequence[Input],

@@ -86,6 +86,80 @@ def sample_faults(
     return rng.sample(population, count)
 
 
+def extra_state_mutants(
+    machine: MealyMachine,
+) -> Iterator[MealyMachine]:
+    """Every one-extra-state mutant implementation of ``machine``.
+
+    The single-fault population of :func:`all_single_faults` only
+    contains implementations with the specification's own state count;
+    the W/Wp/HSI fault domain with ``m = n + 1`` additionally contains
+    machines hiding one extra state.  This enumerates a canonical
+    family of them: for every transition ``t``, the destination state
+    is *cloned* into a fresh state, ``t`` is redirected into the
+    clone, and exactly one of the clone's outgoing transitions is
+    corrupted -- either its output (one mutant per wrong output value)
+    or its destination (one mutant per wrong destination state).  Each
+    mutant is deterministic, input-complete wherever the specification
+    is, and has exactly ``n + 1`` states.
+
+    These are precisely the faults that make the ``m`` parameter
+    meaningful: a suite generated for ``m = n`` may miss them, a suite
+    generated for ``m = n + 1`` provably cannot (the empirical-
+    completeness harness asserts exactly that).
+    """
+    outputs = sorted(machine.outputs, key=repr)
+    states = sorted(machine.states, key=repr)
+    for t in machine.transitions:
+        exits = machine.transitions_from(t.dst)
+        for ct in exits:
+            for wrong_out in outputs:
+                if wrong_out != ct.out:
+                    yield _clone_mutant(machine, t, ct, wrong_out=wrong_out)
+            for wrong_dst in states:
+                if wrong_dst != ct.dst:
+                    yield _clone_mutant(machine, t, ct, wrong_dst=wrong_dst)
+
+
+def _clone_mutant(
+    machine: MealyMachine,
+    redirect: "object",
+    corrupt: "object",
+    wrong_out: Optional[Output] = None,
+    wrong_dst: Optional[State] = None,
+) -> MealyMachine:
+    """Clone ``redirect.dst`` into a fresh state, send ``redirect``
+    there, and corrupt the clone's copy of transition ``corrupt``."""
+    clone = ("__extra__", redirect.dst)
+    what = (
+        f"out={wrong_out!r}" if wrong_out is not None
+        else f"dst={wrong_dst!r}"
+    )
+    mutant = MealyMachine(
+        machine.initial,
+        name=(
+            f"{machine.name}+clone({redirect.src!r},{redirect.inp!r}->"
+            f"{redirect.dst!r};{corrupt.inp!r}:{what})"
+        ),
+    )
+    for s in machine.states:
+        mutant.add_state(s)
+    for tr in machine.transitions:
+        if tr == redirect:
+            mutant.add_transition(tr.src, tr.inp, tr.out, clone)
+        else:
+            mutant.add_transition(tr.src, tr.inp, tr.out, tr.dst)
+    for tr in machine.transitions_from(redirect.dst):
+        out, dst = tr.out, tr.dst
+        if tr.inp == corrupt.inp:
+            if wrong_out is not None:
+                out = wrong_out
+            if wrong_dst is not None:
+                dst = wrong_dst
+        mutant.add_transition(clone, tr.inp, out, dst)
+    return mutant
+
+
 def inject(machine: MealyMachine, fault: Fault) -> MealyMachine:
     """Apply one fault, returning the mutant implementation."""
     return fault.apply(machine)

@@ -1,5 +1,15 @@
 """Transition-tour and test-set generation algorithms."""
 
+from .charset import (
+    SuiteError,
+    access_sequences,
+    characterization_set,
+    drop_prefixes,
+    harmonized_state_identifiers,
+    state_cover,
+    state_identifiers,
+    transition_cover,
+)
 from .eulerian import (
     EulerianError,
     degree_balance,
@@ -8,6 +18,20 @@ from .eulerian import (
     verify_circuit,
 )
 from .greedy import greedy_transition_transitions, random_walk_transitions
+from .methods import (
+    RESET,
+    ExecutableSuite,
+    FaultDomain,
+    SUITE_METHODS,
+    TestSuite,
+    canonical_minimal,
+    generate_suite,
+    hsi_method,
+    reset_harness,
+    suite_outputs,
+    w_method,
+    wp_method,
+)
 from .mincostflow import FlowError, MinCostFlow
 from .postman import (
     PostmanError,
@@ -33,11 +57,31 @@ from .uio import (
 
 __all__ = [
     "EulerianError",
+    "ExecutableSuite",
+    "FaultDomain",
     "FlowError",
     "MinCostFlow",
     "PostmanError",
+    "RESET",
+    "SUITE_METHODS",
+    "SuiteError",
+    "TestSuite",
     "Tour",
+    "access_sequences",
     "all_uio_sequences",
+    "canonical_minimal",
+    "characterization_set",
+    "drop_prefixes",
+    "generate_suite",
+    "harmonized_state_identifiers",
+    "hsi_method",
+    "reset_harness",
+    "state_cover",
+    "state_identifiers",
+    "suite_outputs",
+    "transition_cover",
+    "w_method",
+    "wp_method",
     "checking_tour",
     "chinese_postman_transitions",
     "degree_balance",

@@ -1,0 +1,262 @@
+"""State-identification machinery for complete test-suite generation.
+
+Transition tours certify completeness only under the paper's
+Requirements 2-5 (forall-k-distinguishability, Definition 5).  The
+classical conformance-testing route -- the W, Wp and HSI methods
+(Chow; Fujiwara/v.Bochmann/Khendek/Amalou/Ghedamsi; Petrenko/
+Yevtushenko) -- drops those structural requirements and instead pays
+with *state identification*: after reaching a state, apply input
+sequences whose outputs pin down which state the implementation is
+really in.  This module provides the building blocks those methods
+share:
+
+* :func:`access_sequences` / :func:`state_cover` -- shortest input
+  sequences reaching every state from the initial state (the set
+  ``Q``, prefix-closed by construction).
+* :func:`transition_cover` -- ``Q`` extended by one input in every
+  direction (the set ``P``); every transition is the last step of some
+  member.
+* :func:`characterization_set` -- the ``W`` set: input sequences that
+  jointly distinguish every pair of distinct states.
+* :func:`state_identifiers` -- per-state subsets ``W_s`` of ``W``
+  (the Wp method's identification sets).
+* :func:`harmonized_state_identifiers` -- the HSI family ``H_s``:
+  for every pair of states the two families share a common sequence
+  that distinguishes the pair, which is what lets HSI suites stay
+  complete on partially-specified reductions of ``W``.
+
+All constructions are deterministic: states, inputs and candidate
+sequences are always visited in ``repr``-sorted order, so two runs
+(or two worker processes) derive byte-identical suites.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.distinguish import (
+    _pair_distance_table,
+    shortest_distinguishing_sequence,
+)
+from ..core.mealy import Input, MealyMachine, State
+
+Sequence_ = Tuple[Input, ...]
+
+
+class SuiteError(Exception):
+    """Raised when a machine does not admit the requested suite.
+
+    The W/Wp/HSI constructions need an input-complete (over the valid
+    alphabet), initially-connected, minimal specification; the message
+    names the violated precondition and the offending states/pairs.
+    """
+
+
+def require_complete(machine: MealyMachine) -> None:
+    """Raise :class:`SuiteError` unless ``machine`` is input-complete."""
+    missing = machine.undefined_pairs()
+    if missing:
+        raise SuiteError(
+            f"{machine.name}: suite generation needs an input-complete "
+            f"machine (over its valid-input alphabet); {len(missing)} "
+            f"undefined (state, input) pairs, e.g. {missing[0]!r}.  "
+            f"Wrap with make_complete() or restrict the alphabet."
+        )
+
+
+def distinguishes(
+    machine: MealyMachine, s1: State, s2: State, seq: Sequence_
+) -> bool:
+    """True iff ``seq`` produces different outputs from ``s1`` and ``s2``.
+
+    On a complete machine every sequence is defined from every state,
+    so this is a plain output-sequence comparison.
+    """
+    return machine.output_sequence(seq, start=s1) != machine.output_sequence(
+        seq, start=s2
+    )
+
+
+def drop_prefixes(seqs: Iterable[Sequence_]) -> Tuple[Sequence_, ...]:
+    """Deduplicate and drop sequences that are proper prefixes of others.
+
+    If ``w`` distinguishes a pair (or exercises a transition), any
+    extension of ``w`` does too -- output divergence happens at some
+    position inside the prefix -- so dropping prefixes is the standard
+    lossless suite reduction.  The result is sorted by (length, repr)
+    for determinism.
+    """
+    uniq = sorted(set(seqs), key=lambda s: (len(s), repr(s)))
+    proper_prefixes = set()
+    for s in uniq:
+        for i in range(len(s)):
+            proper_prefixes.add(s[:i])
+    return tuple(s for s in uniq if s not in proper_prefixes)
+
+
+def access_sequences(
+    machine: MealyMachine,
+) -> Dict[State, Sequence_]:
+    """Shortest input sequence from the initial state to every
+    reachable state (breadth-first, inputs in sorted order).
+
+    The empty sequence accesses the initial state; the mapping is
+    prefix-closed (every prefix of an access sequence is itself the
+    access sequence of the state it reaches).
+    """
+    acc: Dict[State, Sequence_] = {machine.initial: ()}
+    work = deque([machine.initial])
+    while work:
+        s = work.popleft()
+        for inp in sorted(machine.defined_inputs(s), key=repr):
+            t = machine.transition(s, inp)
+            if t.dst not in acc:
+                acc[t.dst] = acc[s] + (inp,)
+                work.append(t.dst)
+    return acc
+
+
+def state_cover(machine: MealyMachine) -> Tuple[Sequence_, ...]:
+    """The set ``Q``: one access sequence per reachable state.
+
+    Raises :class:`SuiteError` if some state is unreachable -- an
+    unreachable specification state can never be identified by any
+    black-box suite.
+    """
+    acc = access_sequences(machine)
+    missing = sorted(
+        (s for s in machine.states if s not in acc), key=repr
+    )
+    if missing:
+        raise SuiteError(
+            f"{machine.name}: states {missing} are unreachable from "
+            f"{machine.initial!r}; restrict_to_reachable() first"
+        )
+    return tuple(
+        sorted(acc.values(), key=lambda s: (len(s), repr(s)))
+    )
+
+
+def transition_cover(machine: MealyMachine) -> Tuple[Sequence_, ...]:
+    """The set ``P``: the state cover plus every one-input extension.
+
+    Every transition ``(s, i)`` of the machine is the final step of the
+    member ``access(s) + (i,)``, which is what lets a suite built on
+    ``P`` exercise (and then identify the destination of) every
+    transition.  Includes ``Q`` itself, so ``P`` is prefix-closed.
+    """
+    acc = access_sequences(machine)
+    cover: List[Sequence_] = list(state_cover(machine))
+    for s in sorted(acc, key=repr):
+        for inp in sorted(machine.defined_inputs(s), key=repr):
+            cover.append(acc[s] + (inp,))
+    return tuple(
+        sorted(set(cover), key=lambda s: (len(s), repr(s)))
+    )
+
+
+def characterization_set(
+    machine: MealyMachine,
+    table: Optional[Dict] = None,
+) -> Tuple[Sequence_, ...]:
+    """A characterization set ``W``: sequences jointly distinguishing
+    every pair of distinct states.
+
+    Greedy construction over the shared pair-distance table: pairs are
+    visited in sorted order, and a pair not yet separated by the
+    sequences collected so far contributes its (lexicographically
+    least) shortest distinguishing sequence.  The result is
+    prefix-reduced.
+
+    Raises
+    ------
+    SuiteError
+        If some pair of distinct states is equivalent -- the machine is
+        not minimal, and no finite ``W`` exists.  Minimize first.
+    """
+    require_complete(machine)
+    if table is None:
+        table = _pair_distance_table(machine)
+    states = sorted(machine.states, key=repr)
+    w_set: List[Sequence_] = []
+    for i, a in enumerate(states):
+        for b in states[i + 1:]:
+            if any(distinguishes(machine, a, b, w) for w in w_set):
+                continue
+            seq = shortest_distinguishing_sequence(machine, a, b, table=table)
+            if seq is None:
+                raise SuiteError(
+                    f"{machine.name}: states {a!r} and {b!r} are "
+                    f"equivalent; no characterization set exists.  "
+                    f"Minimize the machine first."
+                )
+            w_set.append(seq)
+    return drop_prefixes(w_set)
+
+
+def state_identifiers(
+    machine: MealyMachine,
+    charset: Optional[Tuple[Sequence_, ...]] = None,
+) -> Dict[State, Tuple[Sequence_, ...]]:
+    """Per-state identification sets ``W_s`` for the Wp method.
+
+    ``W_s`` is a (greedily minimized) subset of ``W`` that
+    distinguishes ``s`` from every other state.  Applying ``W_s``
+    after reaching a transition's destination is cheaper than applying
+    all of ``W`` -- the Wp method's saving -- while still identifying
+    the destination among all specification states.
+    """
+    w_set = characterization_set(machine) if charset is None else charset
+    states = sorted(machine.states, key=repr)
+    idents: Dict[State, Tuple[Sequence_, ...]] = {}
+    for s in states:
+        remaining = {t for t in states if t != s}
+        chosen: List[Sequence_] = []
+        for w in w_set:
+            if not remaining:
+                break
+            killed = {
+                t for t in remaining if distinguishes(machine, s, t, w)
+            }
+            if killed:
+                chosen.append(w)
+                remaining -= killed
+        if remaining:
+            raise SuiteError(
+                f"{machine.name}: characterization set cannot separate "
+                f"{s!r} from {sorted(remaining, key=repr)}; "
+                f"machine is not minimal"
+            )
+        idents[s] = tuple(chosen)
+    return idents
+
+
+def harmonized_state_identifiers(
+    machine: MealyMachine,
+) -> Dict[State, Tuple[Sequence_, ...]]:
+    """Harmonized state identifiers ``H_s`` (the HSI method's family).
+
+    For every pair of distinct states ``(s, t)`` the same shortest
+    distinguishing sequence is placed in both ``H_s`` and ``H_t``, so
+    any pair of families shares a common sequence (hence a common
+    prefix) that separates the pair -- the harmonization property.
+    Each family is then prefix-reduced, which preserves harmonization:
+    an extension of a separating sequence still separates.
+    """
+    require_complete(machine)
+    table = _pair_distance_table(machine)
+    states = sorted(machine.states, key=repr)
+    fam: Dict[State, List[Sequence_]] = {s: [] for s in states}
+    for i, a in enumerate(states):
+        for b in states[i + 1:]:
+            seq = shortest_distinguishing_sequence(machine, a, b, table=table)
+            if seq is None:
+                raise SuiteError(
+                    f"{machine.name}: states {a!r} and {b!r} are "
+                    f"equivalent; no harmonized identifiers exist.  "
+                    f"Minimize the machine first."
+                )
+            fam[a].append(seq)
+            fam[b].append(seq)
+    return {s: drop_prefixes(seqs) for s, seqs in fam.items()}

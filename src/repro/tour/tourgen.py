@@ -61,11 +61,29 @@ class Tour:
         return len(self.inputs)
 
     def covers_transitions(self, machine: MealyMachine) -> bool:
-        """True iff this tour is a transition tour of ``machine``."""
+        """True iff this tour is a transition tour of ``machine``.
+
+        A machine with no transitions is covered vacuously -- there is
+        nothing to traverse -- and the verdict is returned explicitly
+        rather than left to empty-set iteration inside the coverage
+        report (which would raise on a stale non-empty tour instead of
+        answering the coverage question).
+        """
+        if machine.num_transitions() == 0:
+            return True
         return is_transition_tour(machine, self.inputs, start=self.start)
 
     def covers_states(self, machine: MealyMachine) -> bool:
-        """True iff this tour visits every reachable state."""
+        """True iff this tour visits every reachable state.
+
+        Vacuously true when the machine has at most one state (the
+        start state covers it, whatever the inputs); stated explicitly
+        for the same reason as :meth:`covers_transitions`.
+        """
+        if len(machine.states) <= 1 or machine.num_transitions() == 0:
+            # With no transitions only the start state is reachable,
+            # and it is visited by construction.
+            return True
         return is_state_tour(machine, self.inputs, start=self.start)
 
     def outputs(self, machine: MealyMachine) -> Tuple:

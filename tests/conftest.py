@@ -3,6 +3,12 @@
 import random
 
 import pytest
+from hypothesis import settings
+
+# Bounded profile for CI: property tests explore fewer examples so the
+# suite stays minutes-scale; select with --hypothesis-profile=ci.
+settings.register_profile("ci", max_examples=15, deadline=None)
+settings.register_profile("dev", deadline=None)
 
 from repro.models import (
     alternating_bit_sender,

@@ -1,0 +1,85 @@
+"""Differential pinning for suite campaigns (PR-1/PR-3 pattern).
+
+A W/Wp/HSI suite campaign must produce byte-identical verdicts at any
+worker count and on either simulation kernel: the suite lowers to one
+flat reset-separated input sequence over the harness machine, and from
+there the executor guarantees apply unchanged.  Any divergence means
+either the lowering or a kernel broke determinism.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import run_suite_campaign
+from repro.tour import RESET, generate_suite, suite_outputs
+
+JOBS = (1, 2, 4)
+KERNELS = ("interp", "compiled")
+
+
+@pytest.fixture(scope="module")
+def suites(request):
+    from repro.models import counter, vending_machine
+
+    out = []
+    for build in (vending_machine, lambda: counter(3)):
+        machine = build()
+        for method in ("w", "wp", "hsi"):
+            out.append((machine, generate_suite(machine, method)))
+    return out
+
+
+def test_verdicts_identical_across_jobs_and_kernels(suites):
+    for machine, suite in suites:
+        baseline = run_suite_campaign(machine, suite, jobs=1, kernel="interp")
+        base_json = json.dumps(
+            baseline.to_json_dict(), sort_keys=True
+        )
+        for jobs in JOBS:
+            for kernel in KERNELS:
+                result = run_suite_campaign(
+                    machine, suite, jobs=jobs, kernel=kernel
+                )
+                assert result == baseline, (suite.method, jobs, kernel)
+                assert (
+                    json.dumps(result.to_json_dict(), sort_keys=True)
+                    == base_json
+                ), (suite.method, jobs, kernel)
+
+
+def test_generation_is_deterministic_across_calls(suites):
+    """Same machine + method => identical sequences, every time.
+
+    This is what makes --run-dir resume sound for suites: the manifest
+    pins the flattened input sequence, and regeneration in a resumed
+    process must reproduce it exactly."""
+    for machine, suite in suites:
+        again = generate_suite(machine, suite.method)
+        assert again.sequences == suite.sequences
+        assert again.flat_inputs() == suite.flat_inputs()
+
+
+def test_expected_outputs_stable(suites):
+    """The spec-side expected outputs of every test case serialize
+    identically across regenerations (golden-reference stability)."""
+    for machine, suite in suites:
+        first = suite_outputs(suite, machine)
+        second = suite_outputs(generate_suite(machine, suite.method), machine)
+        assert first == second
+        assert len(first) == suite.num_sequences
+
+
+def test_flat_inputs_roundtrip(suites):
+    """Splitting the flat sequence on RESET recovers the suite."""
+    for _machine, suite in suites:
+        flat = suite.flat_inputs()
+        parts, current = [], []
+        for inp in flat:
+            if inp == RESET:
+                parts.append(tuple(current))
+                current = []
+            else:
+                current.append(inp)
+        parts.append(tuple(current))
+        assert tuple(parts) == suite.sequences
