@@ -9,12 +9,17 @@ Run the suite with ``pytest benchmarks/ --benchmark-only -s`` to see
 the reproduced tables/figures printed alongside the timings.
 """
 
-import json
 import os
 
 import pytest
 
 from repro.dlx.isa import Op
+from repro.obs.bench import record_bench
+
+#: The repo root, independent of pytest's CWD: BENCH_<name>.json files
+#: land here (unless BENCH_JSON_DIR redirects them) so the perf
+#: trajectory accumulates at a stable location across runs.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 from repro.dlx.testmodel import (
     build_tour_model,
     derive_test_model,
@@ -70,10 +75,12 @@ def emit(title, lines, name=None, data=None):
 
     When ``name`` is given, the machine-readable ``data`` dict
     (timings, key counts -- whatever the benchmark measured) is also
-    written to ``BENCH_<name>.json`` so the perf trajectory
-    accumulates across runs.  The output directory defaults to the
-    current working directory; set ``BENCH_JSON_DIR`` to redirect
-    (e.g. a CI artifacts folder).
+    appended as a schema-versioned entry (git SHA, host fingerprint,
+    timestamp) to ``BENCH_<name>.json`` at the repo root, so the perf
+    trajectory accumulates across runs no matter where pytest was
+    invoked from.  Set ``BENCH_JSON_DIR`` to redirect (e.g. a CI
+    artifacts folder); ``repro bench-report`` renders the trajectory
+    and runs the regression gate.
     """
     print()
     print(f"==== {title} " + "=" * max(1, 60 - len(title)))
@@ -81,10 +88,5 @@ def emit(title, lines, name=None, data=None):
         print(line)
     print("=" * 66)
     if name is not None:
-        out_dir = os.environ.get("BENCH_JSON_DIR", ".")
-        os.makedirs(out_dir, exist_ok=True)
-        path = os.path.join(out_dir, f"BENCH_{name}.json")
-        payload = {"bench": name, "title": title, "data": data or {}}
-        with open(path, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        out_dir = os.environ.get("BENCH_JSON_DIR", REPO_ROOT)
+        record_bench(name, title, data or {}, out_dir=out_dir)

@@ -9,6 +9,8 @@
     python -m repro catalog               # the design-error catalog
     python -m repro campaign TARGET       # parallel fault campaign
     python -m repro report METRICS.json   # render a saved metrics file
+    python -m repro watch RUN_DIR         # follow a journaled run
+    python -m repro bench-report [DIR]    # bench trajectory + gate
 
 Each subcommand prints a self-contained report; exit status is
 non-zero when a validation fails or a campaign leaves coverage
@@ -28,8 +30,14 @@ The ``tour``, ``validate`` and ``campaign`` subcommands accept
 ``--trace FILE`` (span trace; ``.jsonl`` for raw records, anything
 else for Chrome ``trace_event`` JSON loadable in ``chrome://tracing``
 / Perfetto) and ``--metrics FILE`` (the metrics-registry dump that
-``repro report`` renders).  With neither flag the observability layer
-stays a no-op.
+``repro report`` renders), plus the live observatory flags:
+``--events FILE`` streams the typed event bus as JSONL,
+``--progress {auto,always,never}`` controls the one-line stderr
+progress view (``auto`` = only on a TTY), and ``--status-port N``
+serves ``/status``, ``/metrics`` (Prometheus text) and
+``/events?since=N`` on ``127.0.0.1:N`` for the duration of the
+command (``0`` picks an ephemeral port, announced on stderr).  With
+none of these flags the observability layer stays a no-op.
 """
 
 from __future__ import annotations
@@ -69,41 +77,102 @@ def _campaign_exit(complete: bool, degraded: bool) -> int:
 
 @contextlib.contextmanager
 def _observability(args: argparse.Namespace) -> Iterator[None]:
-    """Install a live registry/tracer for ``--trace`` / ``--metrics``.
+    """Install the observability layer the flags ask for.
 
-    With neither flag set this is a pure pass-through: the global
-    no-op registry and absent tracer stay installed and instrumented
-    hot paths pay nothing.  Files are written after the command body
-    finishes (even on error), so a failing campaign still leaves its
-    telemetry behind.
+    ``--trace``/``--metrics`` install a live tracer/registry whose
+    dumps are written after the command body finishes (even on error,
+    so a failing campaign still leaves its telemetry behind).
+    ``--events``/``--progress``/``--status-port`` install a live event
+    bus with the matching sinks: a JSONL file, the stderr progress
+    renderer, and the ring buffer + progress model behind the HTTP
+    status server.  With none of the flags set this is a pure
+    pass-through: the global no-op registry/tracer/bus stay installed
+    and instrumented hot paths pay nothing.
     """
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
-    if not trace_path and not metrics_path:
+    events_path = getattr(args, "events", None)
+    progress_mode = getattr(args, "progress", "auto") or "auto"
+    status_port = getattr(args, "status_port", None)
+    from .obs import progress_enabled
+
+    want_progress = progress_enabled(progress_mode)
+    want_bus = bool(events_path) or want_progress or status_port is not None
+    # The status server's /metrics endpoint reads the *installed*
+    # registry, so --status-port implies a live one even without
+    # --metrics (the dump is simply not written anywhere).
+    want_registry = bool(metrics_path) or status_port is not None
+    if not (trace_path or want_registry or want_bus):
         yield
         return
     from .obs import (
+        EventBus,
+        JsonlSink,
         MetricsRegistry,
+        ProgressRenderer,
+        RingBufferSink,
         Tracer,
+        install_bus,
         install_registry,
         install_tracer,
+        serve_campaign,
     )
 
-    registry = MetricsRegistry()
-    tracer = Tracer()
-    previous_registry = install_registry(registry)
-    previous_tracer = install_tracer(tracer)
+    registry = MetricsRegistry() if want_registry else None
+    tracer = Tracer() if trace_path else None
+    previous_registry = (
+        install_registry(registry) if registry is not None else None
+    )
+    previous_tracer = install_tracer(tracer) if tracer is not None else None
+    bus = EventBus() if want_bus else None
+    previous_bus = install_bus(bus) if bus is not None else None
+    jsonl_sink = None
+    renderer = None
+    server = None
+    if bus is not None:
+        if events_path:
+            jsonl_sink = bus.add_sink(JsonlSink(events_path))
+        if want_progress:
+            renderer = ProgressRenderer()
+            bus.add_sink(renderer)
+        if status_port is not None:
+            ring = RingBufferSink()
+            bus.add_sink(ring)
+            # Reuse the renderer's model when both views are up, so
+            # /status and the progress line never disagree.
+            model = renderer.model if renderer else None
+            if model is None:
+                from .obs import ProgressModel
+
+                model = ProgressModel()
+                bus.add_sink(model)
+            server = serve_campaign(model, ring, port=status_port)
+            print(
+                f"status server listening on {server.url} "
+                f"(/status /metrics /events)",
+                file=sys.stderr,
+            )
     try:
         yield
     finally:
-        install_registry(previous_registry)
-        install_tracer(previous_tracer)
-        if metrics_path:
+        if server is not None:
+            server.stop()
+        if renderer is not None:
+            renderer.close()
+        if jsonl_sink is not None:
+            jsonl_sink.close()
+        if bus is not None:
+            install_bus(previous_bus)
+        if tracer is not None:
+            install_tracer(previous_tracer)
+        if registry is not None:
+            install_registry(previous_registry)
+        if metrics_path and registry is not None:
             with open(metrics_path, "w") as handle:
                 json.dump(registry.dump(), handle, indent=2,
                           sort_keys=True)
                 handle.write("\n")
-        if trace_path:
+        if trace_path and tracer is not None:
             tracer.write(trace_path)
 
 
@@ -119,6 +188,28 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="write the metrics-registry dump as JSON "
         "(render with `repro report FILE`)",
+    )
+    parser.add_argument(
+        "--events",
+        metavar="FILE",
+        help="stream the typed event bus (campaign lifecycle, fault "
+        "verdicts, coverage snapshots, scheduling) to FILE as JSONL",
+    )
+    parser.add_argument(
+        "--progress",
+        choices=("auto", "always", "never"),
+        default="auto",
+        help="one-line live progress view on stderr "
+        "(auto: only when stderr is a TTY)",
+    )
+    parser.add_argument(
+        "--status-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve /status (JSON), /metrics (Prometheus text) and "
+        "/events?since=N on 127.0.0.1:N while the command runs "
+        "(0 picks an ephemeral port, announced on stderr)",
     )
 
 
@@ -428,6 +519,137 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _watch_line(snapshot: dict) -> str:
+    """One status line for a run-directory snapshot."""
+    from .obs.progress import format_eta
+
+    identity = snapshot.get("identity") or {}
+    label = (
+        identity.get("machine")
+        or identity.get("test_name")
+        or snapshot.get("run_dir", "run")
+    )
+    total = snapshot.get("total")
+    done = snapshot.get("journaled", 0)
+    parts = [f"{snapshot.get('phase', '?'):<8} {label}"]
+    if isinstance(total, int) and total:
+        parts.append(f"{done}/{total} {done / total:6.1%}")
+    else:
+        parts.append(f"{done} journaled")
+    parts.append(
+        f"det {snapshot.get('detected', 0)} "
+        f"esc {snapshot.get('escaped', 0)}"
+    )
+    if snapshot.get("timed_out"):
+        parts.append(f"t/o {snapshot['timed_out']}")
+    if snapshot.get("degraded"):
+        parts.append(f"degr {snapshot['degraded']}")
+    if snapshot.get("dropped"):
+        parts.append(f"dropped {snapshot['dropped']}")
+    coverage = snapshot.get("coverage")
+    if coverage is not None:
+        parts.append(f"cov {coverage:.1%}")
+    return "  ".join(parts)
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Follow a journaled run directory until its report lands."""
+    import time
+
+    from .runtime import RunDirError, watch_snapshot
+
+    def take() -> Optional[dict]:
+        try:
+            return watch_snapshot(args.run_dir)
+        except (RunDirError, OSError, ValueError) as exc:
+            print(f"cannot watch {args.run_dir!r}: {exc}",
+                  file=sys.stderr)
+            return None
+
+    snapshot = take()
+    if snapshot is None:
+        return 2
+    server = None
+    if args.status_port is not None:
+        from .obs import StatusServer
+
+        def metrics_provider() -> dict:
+            from .runtime import run_paths
+
+            try:
+                with open(run_paths(args.run_dir).metrics) as handle:
+                    loaded = json.load(handle)
+                return loaded if isinstance(loaded, dict) else {}
+            except (OSError, ValueError):
+                return {}
+
+        server = StatusServer(
+            status_provider=lambda: watch_snapshot(args.run_dir),
+            metrics_provider=metrics_provider,
+            port=args.status_port,
+        ).start()
+        print(
+            f"status server listening on {server.url} (/status /metrics)",
+            file=sys.stderr,
+        )
+    try:
+        while True:
+            if args.json:
+                print(json.dumps(snapshot, sort_keys=True))
+            else:
+                print(_watch_line(snapshot))
+            if args.once or snapshot.get("phase") == "done":
+                return 0
+            time.sleep(max(0.05, args.interval))
+            snapshot = take()
+            if snapshot is None:
+                return 2
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        if server is not None:
+            server.stop()
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    """Render the bench trajectory and run the regression gate."""
+    from .obs.bench import (
+        default_bench_dir,
+        find_regressions,
+        load_bench_dir,
+        render_trajectory,
+    )
+
+    directory = args.dir or default_bench_dir()
+    histories = load_bench_dir(directory)
+    if not histories:
+        print(f"no BENCH_*.json files under {directory!r}",
+              file=sys.stderr)
+        return 2
+    print(render_trajectory(histories), end="")
+    regressions = [
+        regression
+        for name in sorted(histories)
+        for regression in find_regressions(
+            histories[name], threshold=args.threshold
+        )
+    ]
+    if regressions:
+        print()
+        print(
+            f"{len(regressions)} timing regression(s) beyond "
+            f"{args.threshold:.0%} (latest entry vs previous):"
+        )
+        for regression in regressions:
+            print(f"  {regression}")
+        if args.check:
+            return 1
+    else:
+        print()
+        print(f"no timing regressions beyond {args.threshold:.0%}")
+    return 0
+
+
 def cmd_catalog(_args: argparse.Namespace) -> int:
     from .dlx.buggy import BUG_CATALOG
 
@@ -603,6 +825,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("metrics_file", help="JSON file from --metrics")
     report.set_defaults(func=cmd_report)
+
+    watch = sub.add_parser(
+        "watch",
+        help="follow a journaled --run-dir campaign (journal tail, "
+        "progress, final coverage)",
+    )
+    watch.add_argument("run_dir", help="run directory to watch")
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between polls (default 2)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit",
+    )
+    watch.add_argument(
+        "--json",
+        action="store_true",
+        help="print snapshots as JSON objects, one per poll",
+    )
+    watch.add_argument(
+        "--status-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also serve the snapshot as /status (+ saved /metrics) "
+        "on 127.0.0.1:N while watching",
+    )
+    watch.set_defaults(func=cmd_watch)
+
+    bench = sub.add_parser(
+        "bench-report",
+        help="render the BENCH_*.json perf trajectory and flag "
+        "timing regressions",
+    )
+    bench.add_argument(
+        "dir",
+        nargs="?",
+        default=None,
+        help="directory holding BENCH_*.json (default: repo root / "
+        "BENCH_JSON_DIR)",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        metavar="F",
+        help="flag a *_seconds metric more than this fraction slower "
+        "than the previous entry (default 0.20)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when regressions are found (CI gate); default is "
+        "report-only",
+    )
+    bench.set_defaults(func=cmd_bench_report)
     return parser
 
 

@@ -28,6 +28,7 @@ from ..obs import (
     replay_with_telemetry,
     span,
 )
+from ..obs.events import emit_event, get_bus
 from ..core.theorems import CompletenessCertificate
 from ..parallel import (
     CampaignCache,
@@ -272,9 +273,28 @@ def sweep_verdicts(
         reg.counter("runtime.degradations_total").inc()
         reg.counter("runtime.quarantined_tasks_total").inc(len(quarantined))
         for i in quarantined:
+            emit_event(
+                "worker.degraded",
+                fault=repr(faults[i]),
+                action="oracle-rerun",
+            )
             verdicts[i] = FaultVerdict(
                 detected=_rerun_on_oracle(spec, test, faults[i]),
                 degraded=True,
+            )
+    # The verdict stream: emitted in submission order from the fully
+    # assembled list, so the payload sequence is byte-identical at any
+    # jobs/kernel setting (the bus determinism contract).  The
+    # environment-dependent `degraded` flag stays out of the payload;
+    # degradation travels via worker.degraded above.
+    bus = get_bus()
+    if bus.enabled:
+        for fault, verdict in zip(faults, verdicts):
+            bus.emit(
+                "fault.verdict",
+                fault=repr(fault),
+                detected=verdict.detected,
+                timed_out=verdict.timed_out,
             )
     return verdicts  # type: ignore[return-value] - all slots filled
 
@@ -328,6 +348,12 @@ def run_campaign(
         test_length=len(test),
         jobs=jobs,
     ):
+        emit_event(
+            "campaign.started",
+            machine=spec.name,
+            faults=len(population),
+            test_length=len(test),
+        )
         if cache is not None:
             mfp = machine_fingerprint(spec)
             tfp = inputs_fingerprint(test)
@@ -363,6 +389,13 @@ def run_campaign(
         )
         _record_campaign_metrics(
             spec, test, population, verdicts, timed_out, result
+        )
+        emit_event(
+            "campaign.finished",
+            machine=spec.name,
+            detected=len(detected),
+            escaped=len(escaped),
+            coverage=round(result.coverage, 6),
         )
     return result
 

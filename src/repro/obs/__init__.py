@@ -1,7 +1,7 @@
-"""Observability: metrics, span tracing and live coverage telemetry.
+"""Observability: metrics, tracing, events and the live observatory.
 
 A dependency-free instrumentation layer for the validation runner.
-Three pieces, all zero-cost when disabled (the default):
+All pieces are zero-cost when disabled (the default):
 
 * :mod:`repro.obs.metrics` -- a process-global
   :class:`MetricsRegistry` of counters, gauges and fixed-bucket
@@ -14,13 +14,54 @@ Three pieces, all zero-cost when disabled (the default):
 * :mod:`repro.obs.telemetry` -- :class:`CoverageTelemetry`, the
   instrumented replay hook streaming per-transition visit counts,
   first-visit steps and incremental coverage snapshots.
+* :mod:`repro.obs.events` -- the typed event bus behind the live
+  observatory: campaign lifecycle, per-fault verdicts, coverage
+  snapshots and scheduling events fan out to pluggable sinks (JSONL
+  file, in-memory ring, callbacks).
+* :mod:`repro.obs.progress` -- :class:`ProgressModel` folds the event
+  stream into phase/ETA/throughput state; :class:`ProgressRenderer`
+  draws it as a single-line TTY dashboard.
+* :mod:`repro.obs.server` -- :class:`StatusServer`, a stdlib HTTP
+  thread exposing ``/status`` (JSON), ``/metrics`` (Prometheus text)
+  and ``/events?since=N`` (ring tail).
+* :mod:`repro.obs.prom` -- Prometheus text exposition for a metrics
+  dump, plus the tiny parser CI uses to validate it.
+* :mod:`repro.obs.bench` -- schema-versioned ``BENCH_<name>.json``
+  history files, the trajectory report and the regression gate.
 
 The differential contract: instrumentation never changes campaign
-results, and every metric outside the ``*_seconds`` / ``parallel.*``
+results; every metric outside the ``*_seconds`` / ``parallel.*``
 / ``cache.*`` namespaces is byte-identical at any ``jobs`` setting
-(see :meth:`MetricsRegistry.deterministic_dump`).
+(see :meth:`MetricsRegistry.deterministic_dump`); and every event
+outside the scheduling namespaces (``chunk.*``, ``worker.*``,
+``journal.*``, ``run.*``) has byte-identical payloads at any
+``jobs``/``kernel`` setting (see
+:func:`repro.obs.events.deterministic_payloads`).
 """
 
+from .bench import (
+    BENCH_SCHEMA,
+    Regression,
+    find_regressions,
+    load_bench,
+    load_bench_dir,
+    record_bench,
+    render_trajectory,
+)
+from .events import (
+    NULL_BUS,
+    Event,
+    EventBus,
+    JsonlSink,
+    NullBus,
+    RingBufferSink,
+    deterministic_payloads,
+    emit_event,
+    get_bus,
+    install_bus,
+    is_deterministic_event,
+    scoped_bus,
+)
 from .metrics import (
     NULL_REGISTRY,
     SECONDS_BUCKETS,
@@ -34,7 +75,16 @@ from .metrics import (
     install_registry,
     scoped_registry,
 )
+from .progress import ProgressModel, ProgressRenderer, progress_enabled
+from .prom import parse_prometheus, render_prometheus
 from .report import load_metrics, render_metrics, render_metrics_file
+from .server import (
+    StatusServer,
+    model_status_provider,
+    registry_metrics_provider,
+    ring_events_provider,
+    serve_campaign,
+)
 from .telemetry import (
     CoverageTelemetry,
     record_detection_latencies,
@@ -52,29 +102,58 @@ from .trace import (
 )
 
 __all__ = [
+    "BENCH_SCHEMA",
     "NOOP_SPAN",
+    "NULL_BUS",
     "NULL_REGISTRY",
     "SECONDS_BUCKETS",
     "STEP_BUCKETS",
     "Counter",
     "CoverageTelemetry",
+    "Event",
+    "EventBus",
     "Gauge",
     "Histogram",
+    "JsonlSink",
     "MetricsRegistry",
+    "NullBus",
     "NullRegistry",
+    "ProgressModel",
+    "ProgressRenderer",
+    "Regression",
+    "RingBufferSink",
     "Span",
+    "StatusServer",
     "Tracer",
+    "deterministic_payloads",
+    "emit_event",
     "event",
+    "find_regressions",
+    "get_bus",
     "get_registry",
     "get_tracer",
+    "install_bus",
     "install_registry",
     "install_tracer",
+    "is_deterministic_event",
+    "load_bench",
+    "load_bench_dir",
     "load_metrics",
+    "model_status_provider",
+    "parse_prometheus",
+    "progress_enabled",
+    "record_bench",
     "record_detection_latencies",
+    "registry_metrics_provider",
     "render_metrics",
     "render_metrics_file",
+    "render_prometheus",
+    "render_trajectory",
     "replay_with_telemetry",
+    "ring_events_provider",
+    "scoped_bus",
     "scoped_registry",
     "scoped_tracer",
+    "serve_campaign",
     "span",
 ]

@@ -1,0 +1,294 @@
+"""Bench-history tracking: schema-versioned ``BENCH_<name>.json``.
+
+Every benchmark emits one machine-readable record per run.  PR 2
+introduced the files but wrote them to whatever the current working
+directory happened to be, so the perf trajectory never accumulated.
+This module gives them a stable home and a history:
+
+* :func:`record_bench` appends a schema-versioned *entry* (data plus
+  git SHA, host fingerprint, UTC timestamp) to ``BENCH_<name>.json``
+  in :func:`default_bench_dir` -- the repo root by default,
+  ``BENCH_JSON_DIR`` to redirect (e.g. a CI artifacts folder).
+  Legacy single-run files are upgraded in place.
+* :func:`find_regressions` is the gate: it compares the latest entry
+  against the previous one, metric by metric, and flags any
+  ``*_seconds`` measurement that got more than ``threshold`` (default
+  20%) slower.  Counts and sizes are context, not gated.
+* ``repro bench-report`` renders the trajectory table and runs the
+  gate (report-only by default; ``--check`` turns regressions into a
+  non-zero exit for CI).
+
+Entries are compared *within one file on one machine*; the host
+fingerprint is recorded so a trajectory crossing hardware can be
+discounted rather than flagged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Version of the on-disk BENCH_<name>.json schema.
+BENCH_SCHEMA = 2
+
+#: Keep at most this many entries per benchmark file.
+MAX_ENTRIES = 100
+
+#: Flag a timing metric that slowed down by more than this fraction.
+DEFAULT_THRESHOLD = 0.20
+
+
+def default_bench_dir() -> str:
+    """Where ``BENCH_*.json`` files live.
+
+    ``BENCH_JSON_DIR`` wins when set; otherwise the enclosing repo
+    root (the nearest ancestor of the CWD holding ``pyproject.toml``
+    or ``.git``), falling back to the CWD itself.
+    """
+    env = os.environ.get("BENCH_JSON_DIR")
+    if env:
+        return env
+    probe = os.getcwd()
+    while True:
+        if os.path.exists(os.path.join(probe, "pyproject.toml")) or (
+            os.path.exists(os.path.join(probe, ".git"))
+        ):
+            return probe
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            return os.getcwd()
+        probe = parent
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """The current commit SHA, or None outside a usable git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def host_fingerprint() -> Dict[str, Any]:
+    """A small, stable description of the machine the bench ran on."""
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": cpus,
+    }
+
+
+def _normalize(doc: Dict[str, Any], name: str) -> Dict[str, Any]:
+    """Coerce any historical file layout to the schema-2 shape."""
+    if isinstance(doc, dict) and isinstance(doc.get("entries"), list):
+        doc.setdefault("schema", BENCH_SCHEMA)
+        doc.setdefault("bench", name)
+        return doc
+    # Legacy (schema-1) single-run file: {"bench", "title", "data"}.
+    entry: Dict[str, Any] = {
+        "title": doc.get("title") if isinstance(doc, dict) else None,
+        "data": doc.get("data", {}) if isinstance(doc, dict) else {},
+        "git_sha": None,
+        "host": None,
+        "recorded_at": None,
+    }
+    return {"schema": BENCH_SCHEMA, "bench": name, "entries": [entry]}
+
+
+def bench_path(name: str, out_dir: Optional[str] = None) -> str:
+    return os.path.join(
+        out_dir or default_bench_dir(), f"BENCH_{name}.json"
+    )
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    """Load one BENCH file, normalized to the schema-2 shape."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    name = os.path.basename(path)
+    if name.startswith("BENCH_") and name.endswith(".json"):
+        name = name[len("BENCH_"):-len(".json")]
+    return _normalize(doc, name)
+
+
+def record_bench(
+    name: str,
+    title: str,
+    data: Optional[Dict[str, Any]] = None,
+    out_dir: Optional[str] = None,
+    max_entries: int = MAX_ENTRIES,
+) -> str:
+    """Append one run's entry to ``BENCH_<name>.json``; returns the
+    path written.  Creates the file (and directory) when missing and
+    upgrades legacy single-run files in place."""
+    path = bench_path(name, out_dir)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    if os.path.exists(path):
+        try:
+            doc = load_bench(path)
+        except (OSError, ValueError):
+            doc = {"schema": BENCH_SCHEMA, "bench": name, "entries": []}
+    else:
+        doc = {"schema": BENCH_SCHEMA, "bench": name, "entries": []}
+    entry = {
+        "title": title,
+        "data": dict(data or {}),
+        "git_sha": git_sha(),
+        "host": host_fingerprint(),
+        "recorded_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+    }
+    entries = list(doc.get("entries", []))
+    entries.append(entry)
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "bench": name,
+        "entries": entries[-max(1, int(max_entries)):],
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_bench_dir(directory: str) -> Dict[str, Dict[str, Any]]:
+    """Every readable ``BENCH_*.json`` under ``directory``, by name."""
+    histories: Dict[str, Dict[str, Any]] = {}
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return histories
+    for fname in names:
+        if not (fname.startswith("BENCH_") and fname.endswith(".json")):
+            continue
+        path = os.path.join(directory, fname)
+        try:
+            doc = load_bench(path)
+        except (OSError, ValueError):
+            continue
+        histories[doc["bench"]] = doc
+    return histories
+
+
+def seconds_metrics(data: Dict[str, Any]) -> Dict[str, float]:
+    """The gate-relevant subset of a data dict: numeric ``*_seconds``."""
+    return {
+        key: float(value)
+        for key, value in data.items()
+        if key.endswith("_seconds")
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    }
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One timing metric that slowed beyond the threshold."""
+
+    bench: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def ratio(self) -> float:
+        return self.after / self.before if self.before else float("inf")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.bench}.{self.metric}: {self.before:.4f}s -> "
+            f"{self.after:.4f}s ({self.ratio:.2f}x)"
+        )
+
+
+def find_regressions(
+    doc: Dict[str, Any], threshold: float = DEFAULT_THRESHOLD
+) -> List[Regression]:
+    """Latest-vs-previous timing regressions for one bench history.
+
+    Compares each ``*_seconds`` metric of the newest entry against the
+    entry before it; a metric more than ``threshold`` slower (and at
+    least a millisecond in absolute terms, so noise on microsecond
+    measurements never trips the gate) is flagged.
+    """
+    entries = doc.get("entries", [])
+    if len(entries) < 2:
+        return []
+    before = seconds_metrics(entries[-2].get("data", {}))
+    after = seconds_metrics(entries[-1].get("data", {}))
+    regressions: List[Regression] = []
+    for metric in sorted(set(before) & set(after)):
+        old, new = before[metric], after[metric]
+        if old <= 0:
+            continue
+        if new - old > max(0.001, threshold * old):
+            regressions.append(
+                Regression(
+                    bench=doc.get("bench", "?"),
+                    metric=metric,
+                    before=old,
+                    after=new,
+                )
+            )
+    return regressions
+
+
+def render_trajectory(
+    histories: Dict[str, Dict[str, Any]],
+    metrics_per_bench: int = 3,
+) -> str:
+    """The bench trajectory as an aligned text table.
+
+    One block per benchmark: the entries in chronological order with
+    timestamp, short SHA and up to ``metrics_per_bench`` timing
+    metrics (newest entry decides which ones are interesting).
+    """
+    if not histories:
+        return "(no BENCH_*.json files found)\n"
+    lines: List[str] = []
+    for name in sorted(histories):
+        doc = histories[name]
+        entries = doc.get("entries", [])
+        if not entries:
+            continue
+        latest = seconds_metrics(entries[-1].get("data", {}))
+        chosen = sorted(latest)[: max(1, metrics_per_bench)]
+        lines.append(f"{name} ({len(entries)} entries)")
+        header = f"  {'recorded_at':<22} {'sha':<9}"
+        for metric in chosen:
+            header += f" {metric[-18:]:>18}"
+        lines.append(header)
+        for entry in entries:
+            stamp = entry.get("recorded_at") or "-"
+            sha = (entry.get("git_sha") or "-")[:8]
+            row = f"  {stamp:<22} {sha:<9}"
+            data = seconds_metrics(entry.get("data", {}))
+            for metric in chosen:
+                value = data.get(metric)
+                row += (
+                    f" {value:>18.4f}" if value is not None
+                    else f" {'-':>18}"
+                )
+            lines.append(row)
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

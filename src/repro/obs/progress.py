@@ -1,0 +1,281 @@
+"""Live progress: an event-folding status model and a TTY view.
+
+:class:`ProgressModel` is a bus sink that folds the event stream into
+the *current state of the run*: phase, per-phase tallies
+(detected/escaped/timed-out), throughput, ETA, executor queue depth
+and straggler age.  It is the single source of truth shared by the
+stderr progress bar (:class:`ProgressRenderer`) and the status
+server's ``/status`` endpoint -- both are pure views over
+:meth:`ProgressModel.status`.
+
+:class:`ProgressRenderer` draws a one-line progress view on stderr,
+throttled (default 10 Hz) and carriage-return overwritten, so a
+long campaign shows::
+
+    campaign counter3 |########--------| 1024/2048 50.0%  312.4/s  eta 0:03  det 988 esc 36  chunks 12/16
+
+Rendering is wall-clock work on stderr only; it never touches the
+verdict path, so the determinism contract is untouched by
+``--progress always``.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Any, Dict, IO, Optional
+
+from .events import Event
+
+#: Phases a run advances through, in order.
+PHASES = ("starting", "generating", "sweeping", "finalizing", "done")
+
+
+def format_eta(seconds: Optional[float]) -> str:
+    """``M:SS`` / ``H:MM:SS`` rendering of an ETA, ``-`` when unknown."""
+    if seconds is None or seconds != seconds or seconds < 0:
+        return "-"
+    seconds = int(round(seconds))
+    hours, rest = divmod(seconds, 3600)
+    minutes, secs = divmod(rest, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
+
+
+class ProgressModel:
+    """Folds bus events into the live status of a run.
+
+    Thread-safe: the executor emits from the main thread while the
+    status server reads from its handler threads.
+    """
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started_at = clock()
+        self.phase = "starting"
+        self.campaign: Optional[str] = None
+        self.total: Optional[int] = None
+        self.test_length: Optional[int] = None
+        self.done = 0
+        self.detected = 0
+        self.escaped = 0
+        self.timed_out = 0
+        self.degraded = 0
+        self.chunks_dispatched = 0
+        self.chunks_completed = 0
+        self.items_dispatched = 0
+        self.items_completed = 0
+        self.journal_slices = 0
+        self.coverage: Optional[float] = None
+        self.coverage_step: Optional[int] = None
+        self.suite: Optional[Dict[str, Any]] = None
+        self.resumed: Optional[Dict[str, Any]] = None
+        self._verdict_t0: Optional[float] = None
+        self._last_chunk_at: Optional[float] = None
+
+    # -- event folding ------------------------------------------------
+    def __call__(self, event: Event) -> None:
+        self.handle(event)
+
+    def handle(self, event: Event) -> None:
+        name, p = event.name, event.payload
+        with self._lock:
+            if name == "campaign.started":
+                self.phase = "sweeping"
+                self.campaign = p.get("machine") or p.get("netlist") \
+                    or p.get("test_name")
+                self.total = p.get("faults", p.get("catalog"))
+                self.test_length = p.get("test_length", p.get("vectors"))
+                self._verdict_t0 = self._clock()
+            elif name == "campaign.finished":
+                self.phase = "done"
+                if "coverage" in p:
+                    self.coverage = p["coverage"]
+            elif name == "suite.generated":
+                self.phase = "generating"
+                self.suite = dict(p)
+            elif name == "fault.verdict":
+                self.done += 1
+                if p.get("detected"):
+                    self.detected += 1
+                else:
+                    self.escaped += 1
+                if p.get("timed_out"):
+                    self.timed_out += 1
+            elif name == "worker.degraded":
+                self.degraded += 1
+            elif name == "coverage.snapshot":
+                # Snapshots stream while the finished test set is
+                # replayed for telemetry, after the verdict sweep.
+                if self.phase == "sweeping":
+                    self.phase = "finalizing"
+                self.coverage = p.get("fraction")
+                self.coverage_step = p.get("step")
+            elif name == "chunk.dispatched":
+                self.chunks_dispatched += 1
+                self.items_dispatched += p.get("items", 0)
+            elif name == "chunk.completed":
+                self.chunks_completed += 1
+                self.items_completed += p.get("items", 0)
+                self._last_chunk_at = self._clock()
+            elif name == "journal.flushed":
+                self.journal_slices += 1
+            elif name == "run.resumed":
+                self.resumed = dict(p)
+
+    # -- derived views ------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """The live status as one JSON-serializable dict."""
+        with self._lock:
+            now = self._clock()
+            elapsed = now - self._started_at
+            rate = None
+            eta = None
+            if self.done and self._verdict_t0 is not None:
+                span = max(1e-9, now - self._verdict_t0)
+                rate = self.done / span
+                if self.total:
+                    remaining = max(0, self.total - self.done)
+                    eta = remaining / rate if rate else None
+            if self.phase == "done":
+                eta = 0.0
+            straggler = (
+                now - self._last_chunk_at
+                if self._last_chunk_at is not None
+                else None
+            )
+            return {
+                "phase": self.phase,
+                "campaign": self.campaign,
+                "total": self.total,
+                "test_length": self.test_length,
+                "done": self.done,
+                "detected": self.detected,
+                "escaped": self.escaped,
+                "timed_out": self.timed_out,
+                "degraded": self.degraded,
+                "coverage": self.coverage,
+                "elapsed_seconds": round(elapsed, 3),
+                "faults_per_second": (
+                    round(rate, 3) if rate is not None else None
+                ),
+                "eta_seconds": (
+                    round(eta, 3) if eta is not None else None
+                ),
+                "queue_depth": max(
+                    0, self.chunks_dispatched - self.chunks_completed
+                ),
+                "chunks": {
+                    "dispatched": self.chunks_dispatched,
+                    "completed": self.chunks_completed,
+                },
+                "straggler_seconds": (
+                    round(straggler, 3) if straggler is not None else None
+                ),
+                "journal_slices": self.journal_slices,
+                "suite": self.suite,
+                "resumed": self.resumed,
+            }
+
+
+def progress_enabled(mode: str, stream: Optional[IO[str]] = None) -> bool:
+    """Resolve a ``--progress {auto,always,never}`` setting.
+
+    ``auto`` enables the view only when ``stream`` (default stderr) is
+    an interactive terminal, so piped/CI runs stay clean.
+    """
+    if mode == "always":
+        return True
+    if mode == "never":
+        return False
+    if mode != "auto":
+        raise ValueError(
+            f"unknown progress mode {mode!r}: "
+            f"expected 'auto', 'always' or 'never'"
+        )
+    stream = sys.stderr if stream is None else stream
+    isatty = getattr(stream, "isatty", None)
+    return bool(isatty and isatty())
+
+
+class ProgressRenderer:
+    """A bus sink drawing a throttled one-line progress view.
+
+    Wraps (and owns) a :class:`ProgressModel`; every handled event
+    updates the model, and at most every ``interval`` seconds the
+    current status is redrawn over the previous line.  :meth:`close`
+    draws the final state and terminates the line.
+    """
+
+    BAR_WIDTH = 16
+
+    def __init__(
+        self,
+        model: Optional[ProgressModel] = None,
+        stream: Optional[IO[str]] = None,
+        interval: float = 0.1,
+        clock=time.monotonic,
+    ) -> None:
+        self.model = ProgressModel() if model is None else model
+        self.stream = sys.stderr if stream is None else stream
+        self.interval = interval
+        self._clock = clock
+        self._last_draw = 0.0
+        self._drew_anything = False
+
+    def __call__(self, event: Event) -> None:
+        self.model.handle(event)
+        now = self._clock()
+        if now - self._last_draw >= self.interval:
+            self._last_draw = now
+            self.draw()
+
+    def render_line(self) -> str:
+        """The current status as one progress line."""
+        s = self.model.status()
+        parts = []
+        label = s["campaign"] or "campaign"
+        parts.append(f"{s['phase']:<10} {label}")
+        total, done = s["total"], s["done"]
+        if total:
+            frac = min(1.0, done / total)
+            filled = int(round(frac * self.BAR_WIDTH))
+            bar = "#" * filled + "-" * (self.BAR_WIDTH - filled)
+            parts.append(f"|{bar}| {done}/{total} {frac:6.1%}")
+        elif done:
+            parts.append(f"{done} verdicts")
+        if s["faults_per_second"] is not None:
+            parts.append(f"{s['faults_per_second']:.1f}/s")
+        if s["eta_seconds"] is not None:
+            parts.append(f"eta {format_eta(s['eta_seconds'])}")
+        parts.append(f"det {s['detected']} esc {s['escaped']}")
+        if s["timed_out"]:
+            parts.append(f"t/o {s['timed_out']}")
+        if s["degraded"]:
+            parts.append(f"degr {s['degraded']}")
+        chunks = s["chunks"]
+        if chunks["dispatched"]:
+            parts.append(
+                f"chunks {chunks['completed']}/{chunks['dispatched']}"
+            )
+        if s["journal_slices"]:
+            parts.append(f"slices {s['journal_slices']}")
+        return "  ".join(parts)
+
+    def draw(self) -> None:
+        line = self.render_line()
+        # Overwrite the previous line; pad so a shrinking line leaves
+        # no stale tail characters.
+        self.stream.write("\r" + line.ljust(100)[:160])
+        self.stream.flush()
+        self._drew_anything = True
+
+    def close(self) -> None:
+        """Draw the final state and terminate the progress line."""
+        self.draw()
+        if self._drew_anything:
+            self.stream.write("\n")
+            self.stream.flush()

@@ -1,0 +1,224 @@
+"""Prometheus text exposition for the metrics registry.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.
+MetricsRegistry` dump (the same JSON-ready dict ``--metrics FILE``
+writes) into the Prometheus text exposition format, served by the
+status server's ``/metrics`` endpoint.
+
+Naming conventions (documented in METHODOLOGY §14):
+
+* every metric is prefixed ``repro_`` and the dotted internal name is
+  flattened with underscores: ``campaign.faults_detected`` becomes
+  ``repro_campaign_faults_detected``;
+* internal ``{k=v,...}`` label suffixes become Prometheus labels with
+  quoted, escaped values;
+* histograms follow the native convention: cumulative
+  ``_bucket{le="..."}`` series (upper-inclusive, matching the
+  registry's bucketing), one ``le="+Inf"`` bucket, plus ``_sum`` and
+  ``_count``;
+* gauges with non-numeric values (e.g. a state label) are skipped --
+  the exposition format is numbers only.
+
+:func:`parse_prometheus` is the tiny validating parser used by the
+tests and the CI smoke job: it checks ``# TYPE`` lines, label syntax
+and float-parsable samples, and returns ``{sample_key: value}``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Tuple
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$"
+)
+_LABEL = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def _split_name(full: str) -> Tuple[str, Dict[str, str]]:
+    """Split an internal ``name{k=v,...}`` key into (base, labels)."""
+    if "{" not in full:
+        return full, {}
+    base, _, rest = full.partition("{")
+    labels: Dict[str, str] = {}
+    rest = rest.rstrip("}")
+    if rest:
+        for part in rest.split(","):
+            key, _, value = part.partition("=")
+            labels[key.strip()] = value.strip()
+    return base, labels
+
+
+def _prom_name(base: str, prefix: str = "repro_") -> str:
+    name = prefix + re.sub(r"[^a-zA-Z0-9_]", "_", base)
+    if not _NAME_OK.match(name):  # pragma: no cover - sanitized above
+        raise ValueError(f"unrepresentable metric name {base!r}")
+    return name
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(str(labels[k]))}"' for k in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(
+    dump: Dict[str, Any], prefix: str = "repro_"
+) -> str:
+    """Render a metrics dump as Prometheus text exposition format."""
+    lines: List[str] = []
+    typed: Dict[str, str] = {}
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+
+    for full in sorted(dump.get("counters", {})):
+        base, labels = _split_name(full)
+        name = _prom_name(base, prefix)
+        if not name.endswith("_total"):
+            name += "_total"
+        declare(name, "counter")
+        value = dump["counters"][full]
+        lines.append(f"{name}{_labels_text(labels)} {_fmt(float(value))}")
+
+    for full in sorted(dump.get("gauges", {})):
+        value = dump["gauges"][full]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue  # the exposition format is numbers only
+        base, labels = _split_name(full)
+        name = _prom_name(base, prefix)
+        declare(name, "gauge")
+        lines.append(f"{name}{_labels_text(labels)} {_fmt(float(value))}")
+
+    for full in sorted(dump.get("histograms", {})):
+        h = dump["histograms"][full]
+        base, labels = _split_name(full)
+        name = _prom_name(base, prefix)
+        declare(name, "histogram")
+        boundaries = list(h.get("boundaries", []))
+        counts = list(h.get("counts", []))
+        cumulative = 0
+        for bound, count in zip(boundaries, counts):
+            cumulative += count
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _fmt(float(bound))
+            lines.append(
+                f"{name}_bucket{_labels_text(bucket_labels)} {cumulative}"
+            )
+        inf_labels = dict(labels)
+        inf_labels["le"] = "+Inf"
+        lines.append(
+            f"{name}_bucket{_labels_text(inf_labels)} "
+            f"{h.get('count', cumulative)}"
+        )
+        lines.append(
+            f"{name}_sum{_labels_text(labels)} "
+            f"{_fmt(float(h.get('sum', 0.0)))}"
+        )
+        lines.append(
+            f"{name}_count{_labels_text(labels)} {h.get('count', 0)}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse (and validate) Prometheus text exposition format.
+
+    Returns ``{name{labels}: value}``.  Raises :class:`ValueError` on
+    any malformed line -- this is the validator the CI smoke job runs
+    against the live ``/metrics`` endpoint.
+    """
+    samples: Dict[str, float] = {}
+    declared: Dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                name, kind = parts[2], parts[3]
+                if not _NAME_OK.match(name):
+                    raise ValueError(
+                        f"line {lineno}: bad metric name {name!r}"
+                    )
+                if kind not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    raise ValueError(
+                        f"line {lineno}: bad metric type {kind!r}"
+                    )
+                if name in declared:
+                    raise ValueError(
+                        f"line {lineno}: duplicate TYPE for {name!r}"
+                    )
+                declared[name] = kind
+            continue
+        match = _SAMPLE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name, labels_text, value_text = match.groups()
+        if labels_text:
+            inner = labels_text[1:-1]
+            if inner:
+                for part in _split_label_parts(inner):
+                    if not _LABEL.match(part):
+                        raise ValueError(
+                            f"line {lineno}: malformed label {part!r}"
+                        )
+        try:
+            value = float(value_text.replace("+Inf", "inf"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric sample value {value_text!r}"
+            ) from None
+        samples[f"{name}{labels_text or ''}"] = value
+    return samples
+
+
+def _split_label_parts(inner: str) -> List[str]:
+    """Split ``k1="v1",k2="v2"`` respecting escaped quotes."""
+    parts: List[str] = []
+    depth_quote = False
+    current = []
+    i = 0
+    while i < len(inner):
+        ch = inner[i]
+        if ch == "\\" and depth_quote and i + 1 < len(inner):
+            current.append(inner[i:i + 2])
+            i += 2
+            continue
+        if ch == '"':
+            depth_quote = not depth_quote
+        if ch == "," and not depth_quote:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    if current:
+        parts.append("".join(current))
+    return parts

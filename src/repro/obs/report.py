@@ -14,9 +14,20 @@ from typing import Any, Dict, List
 
 
 def load_metrics(path: str) -> Dict[str, Any]:
-    """Load a metrics dump written by the CLI's ``--metrics FILE``."""
+    """Load a metrics dump written by the CLI's ``--metrics FILE``.
+
+    Raises :class:`OSError` for unreadable files and
+    :class:`ValueError` for files that are not a JSON object (invalid
+    JSON, truncated dumps, or a JSON scalar/array) -- the errors
+    ``repro report`` turns into exit status 2.
+    """
     with open(path) as handle:
         dump = json.load(handle)
+    if not isinstance(dump, dict):
+        raise ValueError(
+            f"not a metrics dump: expected a JSON object, got "
+            f"{type(dump).__name__}"
+        )
     for section in ("counters", "gauges", "histograms"):
         dump.setdefault(section, {})
     return dump

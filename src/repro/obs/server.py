@@ -1,0 +1,222 @@
+"""The campaign status server: ``/status``, ``/metrics``, ``/events``.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` running on a
+daemon thread next to the campaign -- the embryo of the ROADMAP's
+``repro serve``.  Three endpoints:
+
+``/status``
+    One JSON object: the run's manifest identity (when it has one),
+    the live :class:`~repro.obs.progress.ProgressModel` status
+    (phase, done/total, throughput, ETA, queue depth) and the
+    coverage so far.
+``/metrics``
+    The installed metrics registry rendered as Prometheus text
+    exposition format (:mod:`repro.obs.prom`).
+``/events?since=N``
+    The ring-buffer tail: every retained event with sequence number
+    greater than ``N``, JSON-encoded with payload and envelope
+    metadata kept apart.
+
+The server binds ``127.0.0.1`` only (this is telemetry, not an API
+gateway) and ``port=0`` asks the OS for an ephemeral port --
+``StatusServer.port`` reports the bound one.  Providers are plain
+callables so ``repro watch`` can serve a run *directory* (journal
+tail, saved metrics) through the identical surface.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional
+from urllib.parse import parse_qs, urlparse
+
+from .events import Event, RingBufferSink
+from .progress import ProgressModel
+from .prom import render_prometheus
+
+StatusProvider = Callable[[], Dict[str, Any]]
+MetricsProvider = Callable[[], Dict[str, Any]]
+EventsProvider = Callable[[int], List[Dict[str, Any]]]
+
+
+def ring_events_provider(ring: RingBufferSink) -> EventsProvider:
+    """An ``/events`` provider reading a live ring-buffer sink."""
+
+    def provide(since: int) -> List[Dict[str, Any]]:
+        return [e.to_json_dict() for e in ring.since(since)]
+
+    return provide
+
+
+def model_status_provider(
+    model: ProgressModel,
+    identity: Optional[Dict[str, Any]] = None,
+) -> StatusProvider:
+    """A ``/status`` provider over a live progress model."""
+
+    def provide() -> Dict[str, Any]:
+        status = {"run": identity or {}}
+        status.update(model.status())
+        return status
+
+    return provide
+
+
+def registry_metrics_provider() -> MetricsProvider:
+    """A ``/metrics`` provider reading the *installed* registry (late
+    bound, so a registry scoped after server start is still seen)."""
+
+    def provide() -> Dict[str, Any]:
+        from .metrics import get_registry
+
+        return get_registry().dump()
+
+    return provide
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-status/1"
+
+    # Set per-server via the factory in StatusServer.__init__.
+    status_provider: StatusProvider
+    metrics_provider: MetricsProvider
+    events_provider: EventsProvider
+
+    def log_message(self, *_args: Any) -> None:
+        """Silence per-request stderr logging."""
+
+    def _send(self, code: int, content_type: str, body: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        try:
+            if url.path == "/status":
+                self._send(
+                    200,
+                    "application/json",
+                    json.dumps(
+                        type(self).status_provider(), sort_keys=True
+                    ) + "\n",
+                )
+            elif url.path == "/metrics":
+                self._send(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    render_prometheus(type(self).metrics_provider()),
+                )
+            elif url.path == "/events":
+                query = parse_qs(url.query)
+                try:
+                    since = int(query.get("since", ["0"])[0])
+                except ValueError:
+                    self._send(
+                        400,
+                        "application/json",
+                        '{"error": "since must be an integer"}\n',
+                    )
+                    return
+                events = type(self).events_provider(since)
+                self._send(
+                    200,
+                    "application/json",
+                    json.dumps({"events": events}, sort_keys=True) + "\n",
+                )
+            elif url.path == "/":
+                self._send(
+                    200,
+                    "application/json",
+                    '{"endpoints": ["/status", "/metrics", "/events"]}\n',
+                )
+            else:
+                self._send(
+                    404,
+                    "application/json",
+                    json.dumps({"error": f"no route {url.path}"}) + "\n",
+                )
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            self._send(
+                500,
+                "application/json",
+                json.dumps({"error": repr(exc)}) + "\n",
+            )
+
+
+class StatusServer:
+    """A daemon-thread HTTP status server over pluggable providers."""
+
+    def __init__(
+        self,
+        *,
+        status_provider: StatusProvider,
+        metrics_provider: Optional[MetricsProvider] = None,
+        events_provider: Optional[EventsProvider] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        handler = type(
+            "_BoundHandler",
+            (_Handler,),
+            {
+                "status_provider": staticmethod(status_provider),
+                "metrics_provider": staticmethod(
+                    metrics_provider or registry_metrics_provider()
+                ),
+                "events_provider": staticmethod(
+                    events_provider or (lambda since: [])
+                ),
+            },
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "StatusServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-status-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "StatusServer":
+        return self.start()
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.stop()
+
+
+def serve_campaign(
+    model: ProgressModel,
+    ring: RingBufferSink,
+    identity: Optional[Dict[str, Any]] = None,
+    port: int = 0,
+) -> StatusServer:
+    """Start the standard live-campaign server: model-backed
+    ``/status``, installed-registry ``/metrics``, ring ``/events``."""
+    return StatusServer(
+        status_provider=model_status_provider(model, identity),
+        metrics_provider=registry_metrics_provider(),
+        events_provider=ring_events_provider(ring),
+        port=port,
+    ).start()

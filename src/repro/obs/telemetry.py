@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.coverage import CoverageReport, reachable_transitions
 from ..core.mealy import Input, MealyMachine, State, Transition
+from .events import emit_event
 from .metrics import STEP_BUCKETS, MetricsRegistry, get_registry
 from .trace import event
 
@@ -108,7 +109,18 @@ class CoverageTelemetry:
     def _take_snapshot(self) -> None:
         report = self.snapshot()
         self.snapshots.append((self._steps, report))
+        # Twice: once to the trace (Chrome timeline), once to the
+        # event bus (progress view / status server / JSONL stream).
+        # Step-indexed, so both are deterministic across jobs/kernel.
         event(
+            "coverage.snapshot",
+            model=self._machine.name,
+            step=self._steps,
+            covered=len(report.covered & report.total),
+            total=len(report.total),
+            fraction=round(report.fraction, 6),
+        )
+        emit_event(
             "coverage.snapshot",
             model=self._machine.name,
             step=self._steps,

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import SECONDS_BUCKETS, get_registry, span
+from ..obs.events import get_bus
 
 
 class TaskTimeout(Exception):
@@ -278,14 +279,21 @@ def parallel_map(
     if _TASK_WRAPPER is not None:
         fn = _TASK_WRAPPER(fn)
     jobs = max(1, int(jobs))
+    bus = get_bus()
     if jobs == 1 or len(work) == 1 or not _picklable((fn, shared)):
         with span("parallel.map", items=len(work), jobs=1, mode="serial"):
-            outcomes = [
-                TaskOutcome(
-                    *_run_one(fn, shared, i, item, timeout, retries)
+            if bus.enabled:
+                bus.emit(
+                    "chunk.dispatched",
+                    items=len(work), jobs=1, mode="serial",
                 )
-                for i, item in enumerate(work)
-            ]
+            outcomes = []
+            for i, item in enumerate(work):
+                outcomes.append(TaskOutcome(
+                    *_run_one(fn, shared, i, item, timeout, retries)
+                ))
+                if bus.enabled:
+                    bus.emit("chunk.completed", items=1, mode="serial")
         _record_pool_metrics(outcomes, jobs=1)
         return outcomes
 
@@ -312,18 +320,29 @@ def parallel_map(
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(chunks))
             ) as pool:
-                futures = {
-                    pool.submit(
+                futures = {}
+                for chunk in chunks:
+                    futures[pool.submit(
                         _run_chunk, fn, shared, chunk, timeout, retries
-                    ): chunk
-                    for chunk in chunks
-                }
+                    )] = chunk
+                    if bus.enabled:
+                        bus.emit(
+                            "chunk.dispatched",
+                            items=len(chunk), jobs=jobs, mode="pool",
+                        )
                 for future in as_completed(futures):
+                    delivered = True
                     try:
                         for record in future.result():
                             records[record[0]] = record
                     except Exception:  # noqa: BLE001 - re-run locally
-                        continue
+                        delivered = False
+                    if bus.enabled:
+                        bus.emit(
+                            "chunk.completed",
+                            items=len(futures[future]), mode="pool",
+                            ok=delivered,
+                        )
         except Exception:  # noqa: BLE001 - pool itself failed; fall back
             pass
 
@@ -334,6 +353,8 @@ def parallel_map(
                 fallback += 1
                 records[index] = _run_one(fn, shared, index, item,
                                           timeout, retries)
+        if fallback and bus.enabled:
+            bus.emit("chunk.completed", items=fallback, mode="fallback")
     outcomes = [TaskOutcome(*records[index]) for index in range(len(work))]
     _record_pool_metrics(outcomes, jobs=jobs, fallback=fallback)
     return outcomes

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from ..obs.events import emit_event, get_bus
 from .expr import Expr, const, substitute
 from .netlist import Netlist
 
@@ -170,6 +171,12 @@ def run_stuck_at_campaign(
         all_stuck_at_faults(golden) if faults is None else list(faults)
     )
     vec_list = tuple(vectors)
+    emit_event(
+        "campaign.started",
+        netlist=golden.name,
+        faults=len(population),
+        vectors=len(vec_list),
+    )
     divergences: List[Optional[int]]
     if kernel == "compiled":
         # Surface bad fault targets eagerly (and from the parent
@@ -218,14 +225,32 @@ def run_stuck_at_campaign(
         ]
     detected: List[StuckAt] = []
     escaped: List[StuckAt] = []
+    bus = get_bus()
     for fault, first in zip(population, divergences):
         if first is not None:
             detected.append(fault)
         else:
             escaped.append(fault)
-    return StructuralCampaignResult(
+        if bus.enabled:
+            # The first-divergence index is part of the payload: both
+            # kernels must agree on it, not just on detected/escaped.
+            bus.emit(
+                "fault.verdict",
+                fault=str(fault),
+                detected=first is not None,
+                first_divergence=first,
+            )
+    result = StructuralCampaignResult(
         netlist_name=golden.name,
         vectors=len(vec_list),
         detected=tuple(detected),
         escaped=tuple(escaped),
     )
+    emit_event(
+        "campaign.finished",
+        netlist=golden.name,
+        detected=len(detected),
+        escaped=len(escaped),
+        coverage=round(result.coverage, 6),
+    )
+    return result

@@ -52,6 +52,7 @@ from .runner import (
     run_bug_campaign_resumable,
     run_campaign_resumable,
     run_paths,
+    watch_snapshot,
 )
 
 __all__ = [
@@ -81,5 +82,6 @@ __all__ = [
     "run_bug_campaign_resumable",
     "run_campaign_resumable",
     "run_paths",
+    "watch_snapshot",
     "write_manifest",
 ]

@@ -30,6 +30,7 @@ the CLI turns into exit status 3.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -44,6 +45,7 @@ from ..faults.campaign import (
 )
 from ..faults.inject import Fault, all_single_faults
 from ..obs import scoped_registry, span
+from ..obs.events import emit_event
 from ..parallel import (
     battery_fingerprint,
     inputs_fingerprint,
@@ -223,6 +225,12 @@ def run_campaign_resumable(
         resume=resume,
     ):
         replay = _prepare_run_dir(paths, identity, settings, resume)
+        emit_event(
+            "campaign.started",
+            machine=spec.name,
+            faults=len(population),
+            test_length=len(test),
+        )
         verdicts: List[Optional[FaultVerdict]] = [None] * len(population)
         provisional = 0
         for record in replay.records:
@@ -241,6 +249,15 @@ def run_campaign_resumable(
             )
         replayed = sum(1 for v in verdicts if v is not None)
         pending = [i for i, v in enumerate(verdicts) if v is None]
+        if resume:
+            emit_event(
+                "run.resumed",
+                replayed=replayed,
+                provisional=provisional,
+                dropped=replay.dropped,
+                pending=len(pending),
+            )
+        journaled = replayed
         with Journal(paths.journal) as journal:
             for chunk in _slices(pending, slice_size):
                 swept = sweep_verdicts(
@@ -257,6 +274,13 @@ def run_campaign_resumable(
                     })
                     verdicts[index] = verdict
                 journal.sync()
+                journaled += len(chunk)
+                emit_event(
+                    "journal.flushed",
+                    entries=len(chunk),
+                    journaled=journaled,
+                    total=len(population),
+                )
         assert all(v is not None for v in verdicts)
         timed_out = {i for i, v in enumerate(verdicts) if v.timed_out}
         result = CampaignResult(
@@ -277,6 +301,13 @@ def run_campaign_resumable(
                 spec, test, population,
                 [v.detected for v in verdicts], timed_out, result,
             ),
+        )
+        emit_event(
+            "campaign.finished",
+            machine=spec.name,
+            detected=len(result.detected),
+            escaped=len(result.escaped),
+            coverage=round(result.coverage, 6),
         )
     return CampaignRun(
         result=result,
@@ -365,6 +396,12 @@ def run_bug_campaign_resumable(
         resume=resume,
     ):
         replay = _prepare_run_dir(paths, identity, settings, resume)
+        emit_event(
+            "campaign.started",
+            test_name=test_name,
+            catalog=len(catalog),
+            tests=len(tests),
+        )
         rows: List[Optional[BugCampaignRow]] = [None] * len(catalog)
         degraded = False
         provisional = 0
@@ -397,6 +434,15 @@ def run_bug_campaign_resumable(
             degraded = degraded or bool(record.get("degraded"))
         replayed = sum(1 for r in rows if r is not None)
         pending = [i for i, r in enumerate(rows) if r is None]
+        if resume:
+            emit_event(
+                "run.resumed",
+                replayed=replayed,
+                provisional=provisional,
+                dropped=replay.dropped,
+                pending=len(pending),
+            )
+        journaled = replayed
         prepared = tuple(
             (
                 tuple(program),
@@ -437,6 +483,13 @@ def run_bug_campaign_resumable(
                     )
                     degraded = degraded or verdict.degraded
                 journal.sync()
+                journaled += len(chunk)
+                emit_event(
+                    "journal.flushed",
+                    entries=len(chunk),
+                    journaled=journaled,
+                    total=len(catalog),
+                )
         assert all(r is not None for r in rows)
         result = BugCampaignResult(
             test_name=test_name, rows=tuple(rows), degraded=degraded
@@ -445,6 +498,13 @@ def run_bug_campaign_resumable(
             paths,
             result.to_json_dict(),
             lambda: _record_bug_campaign_metrics(result),
+        )
+        emit_event(
+            "campaign.finished",
+            test_name=test_name,
+            detected=len(result.detected),
+            escaped=len(result.escaped),
+            coverage=round(result.coverage, 6),
         )
     return BugCampaignRun(
         result=result,
@@ -456,3 +516,61 @@ def run_bug_campaign_resumable(
         ),
         paths=paths,
     )
+
+
+# --------------------------------------------------------------------
+# Run-directory inspection (``repro watch``)
+# --------------------------------------------------------------------
+
+
+def watch_snapshot(run_dir: str) -> Dict[str, Any]:
+    """One point-in-time view of a (possibly still running) run dir.
+
+    Safe to take while a runner is writing: the manifest is immutable
+    after creation, the journal replay drops torn trailing lines by
+    checksum, and ``report.json`` only appears (atomically) once the
+    run finished.  Raises :class:`RunDirError` if there is no manifest
+    -- everything else about the directory may legitimately be missing
+    mid-run.
+    """
+    paths = run_paths(run_dir)
+    manifest = read_manifest(paths.manifest)
+    identity = manifest.get("identity") or {}
+    total = identity.get("fault_count", identity.get("catalog_count"))
+    try:
+        replay = Journal.replay(paths.journal)
+    except OSError:
+        replay = JournalReplay(records=(), dropped=0)
+    seen: Dict[int, Dict[str, Any]] = {}
+    for record in replay.records:
+        index = record.get("i")
+        if isinstance(index, int):
+            seen[index] = record
+    detected = sum(1 for r in seen.values() if r.get("detected"))
+    timed_out = sum(1 for r in seen.values() if r.get("timed_out"))
+    degraded = sum(1 for r in seen.values() if r.get("degraded"))
+    snapshot: Dict[str, Any] = {
+        "run_dir": paths.run_dir,
+        "identity": identity,
+        "settings": manifest.get("settings") or {},
+        "total": total,
+        "journaled": len(seen),
+        "detected": detected,
+        "escaped": len(seen) - detected - timed_out,
+        "timed_out": timed_out,
+        "degraded": degraded,
+        "dropped": replay.dropped,
+        "phase": "running",
+        "coverage": None,
+    }
+    if isinstance(total, int) and total:
+        snapshot["progress"] = len(seen) / total
+    try:
+        with open(paths.report, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError):
+        report = None
+    if isinstance(report, dict):
+        snapshot["phase"] = "done"
+        snapshot["coverage"] = report.get("coverage")
+    return snapshot

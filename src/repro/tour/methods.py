@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.mealy import Input, MealyMachine, State
 from ..core.minimize import minimize
 from ..obs import get_registry, span
+from ..obs.events import emit_event
 from .charset import (
     Sequence_,
     SuiteError,
@@ -470,4 +471,13 @@ def generate_suite(
             f"unknown suite method {method!r}: expected one of "
             f"{SUITE_METHODS}"
         )
-    return gen(machine, domain=domain)
+    suite = gen(machine, domain=domain)
+    emit_event(
+        "suite.generated",
+        machine=machine.name,
+        method=method,
+        m=suite.m,
+        sequences=suite.num_sequences,
+        steps=suite.total_steps,
+    )
+    return suite

@@ -20,6 +20,7 @@ from ..dlx.buggy import BUG_CATALOG, BugEntry
 from ..dlx.isa import Instruction
 from ..dlx.pipeline import PipelineBugs, PipelinedDLX
 from ..obs import STEP_BUCKETS, get_registry, span
+from ..obs.events import emit_event, get_bus
 from ..parallel import (
     MUTANT_BATCH,
     CampaignCache,
@@ -311,11 +312,28 @@ def sweep_bug_verdicts(
         reg.counter("runtime.degradations_total").inc()
         reg.counter("runtime.quarantined_tasks_total").inc(len(quarantined))
         for i in quarantined:
+            emit_event(
+                "worker.degraded",
+                bug=entries[i].name,
+                action="oracle-rerun",
+            )
             detected, mismatch = _rerun_entry_on_oracle(
                 prepared, entries[i]
             )
             verdicts[i] = BugVerdict(
                 detected=detected, mismatch=mismatch, degraded=True
+            )
+    # Verdict stream in catalog order from the assembled list --
+    # byte-identical payloads at any jobs/kernel setting (degradation
+    # is reported separately, above).
+    bus = get_bus()
+    if bus.enabled:
+        for entry, verdict in zip(entries, verdicts):
+            bus.emit(
+                "fault.verdict",
+                bug=entry.name,
+                detected=verdict.detected,
+                timed_out=verdict.timed_out,
             )
     return verdicts  # type: ignore[return-value] - all slots filled
 
@@ -365,6 +383,12 @@ def run_bug_campaign(
         catalog=len(catalog),
         jobs=jobs,
     ):
+        emit_event(
+            "campaign.started",
+            test_name=test_name,
+            catalog=len(catalog),
+            tests=len(tests),
+        )
         prepared = tuple(
             (
                 tuple(program),
@@ -413,6 +437,13 @@ def run_bug_campaign(
             test_name=test_name, rows=rows, degraded=degraded
         )
         _record_bug_campaign_metrics(result)
+        emit_event(
+            "campaign.finished",
+            test_name=test_name,
+            detected=len(result.detected),
+            escaped=len(result.escaped),
+            coverage=round(result.coverage, 6),
+        )
     return result
 
 

@@ -162,6 +162,123 @@ class TestObservabilityFlags:
 
     def test_report_missing_file(self, tmp_path, capsys):
         assert main(["report", str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert "cannot render" in err
+
+    def test_report_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        assert main(["report", str(empty)]) == 2
+        assert "cannot render" in capsys.readouterr().err
+
+    def test_report_truncated_json(self, tmp_path, capsys):
+        truncated = tmp_path / "truncated.json"
+        truncated.write_text('{"counters": {"a": 1}, "gau')
+        assert main(["report", str(truncated)]) == 2
+        assert "cannot render" in capsys.readouterr().err
+
+    def test_report_non_object_json(self, tmp_path, capsys):
+        """A JSON array parses fine but is not a metrics dump; it must
+        exit 2 with a diagnostic, not crash with AttributeError."""
+        listy = tmp_path / "list.json"
+        listy.write_text("[1, 2, 3]")
+        assert main(["report", str(listy)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot render" in err
+        assert "expected a JSON object" in err
+
+    def test_report_empty_dump_renders(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        metrics.write_text("{}")
+        assert main(["report", str(metrics)]) == 0
+        assert "(empty metrics dump)" in capsys.readouterr().out
+
+
+class TestQuantileEdges:
+    def test_zero_count_histogram(self):
+        from repro.obs.report import _quantile
+
+        assert _quantile([1.0, 5.0], [0, 0, 0], 0.5) == "-"
+
+    def test_all_mass_in_overflow_bucket(self):
+        from repro.obs.report import _quantile
+
+        assert _quantile([1.0, 5.0], [0, 0, 7], 0.5) == ">5"
+        assert _quantile([1.0, 5.0], [0, 0, 7], 0.9) == ">5"
+
+    def test_no_boundaries(self):
+        from repro.obs.report import _quantile
+
+        assert _quantile([], [3], 0.5) == "inf"
+
+    def test_zero_count_renders_dash_row(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        metrics.write_text(json.dumps({
+            "histograms": {
+                "empty.hist": {
+                    "boundaries": [1.0, 5.0],
+                    "counts": [0, 0, 0],
+                    "count": 0,
+                    "sum": 0.0,
+                },
+                "over.hist": {
+                    "boundaries": [1.0],
+                    "counts": [0, 4],
+                    "count": 4,
+                    "sum": 40.0,
+                },
+            },
+        }))
+        assert main(["report", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "empty.hist" in out and "over.hist" in out
+        assert ">1" in out  # overflow-bucket quantile rendering
+
+
+class TestObservatoryFlags:
+    def test_campaign_events_jsonl(self, tmp_path, capsys):
+        import json
+
+        events = tmp_path / "events.jsonl"
+        assert main(["campaign", "counter", "--jobs", "2",
+                     "--events", str(events)]) == 1
+        capsys.readouterr()
+        records = [
+            json.loads(line)
+            for line in events.read_text().splitlines()
+        ]
+        names = [r["name"] for r in records]
+        assert names[0] == "campaign.started"
+        assert "fault.verdict" in names
+        assert "chunk.dispatched" in names
+        assert names[-1] == "campaign.finished"
+        # Envelope metadata segregated from payloads.
+        assert all(
+            "ts" in r["meta"] and "ts" not in r["payload"]
+            for r in records
+        )
+
+    def test_progress_always_draws_on_stderr(self, capsys):
+        assert main(["campaign", "counter",
+                     "--progress", "always"]) == 1
+        err = capsys.readouterr().err
+        assert "\r" in err
+        assert "counter3" in err
+        assert err.endswith("\n")
+
+    def test_progress_never_keeps_stderr_clean(self, capsys):
+        assert main(["campaign", "counter",
+                     "--progress", "never"]) == 1
+        assert capsys.readouterr().err == ""
+
+    def test_events_do_not_change_output(self, tmp_path, capsys):
+        assert main(["campaign", "counter", "--progress", "never"]) == 1
+        plain = capsys.readouterr().out
+        assert main(["campaign", "counter", "--progress", "never",
+                     "--events", str(tmp_path / "e.jsonl")]) == 1
+        assert capsys.readouterr().out == plain
 
 
 class TestOthers:

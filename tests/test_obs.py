@@ -337,3 +337,124 @@ class TestInstrumentationOff:
         run_campaign(machine, tour.inputs)
         assert not get_registry().enabled
         assert get_tracer() is None
+
+
+# --------------------------------------------------------------------
+# repro.core.observability: automatic interaction-state identification
+# (merged from the former tests/test_observability.py, which collided
+# in name with this observability-layer suite)
+# --------------------------------------------------------------------
+
+from repro.core.distinguish import analyze_forall_k
+from repro.core.mealy import MealyMachine
+from repro.core.observability import (
+    ObservabilityError,
+    auto_observe,
+    component_names,
+    residual_components,
+    state_components,
+    suggest_observations,
+)
+from repro.models import shift_register
+
+
+def hazard_machine():
+    """States are (phase, dest) pairs: the 'dest' component is
+    interaction state the outputs do not reveal -- a miniature of the
+    paper's destination-register example."""
+    m = MealyMachine(("idle", 0), name="hazardette")
+    for dest in (0, 1):
+        # Issue an operation writing register `dest`.
+        for pick in (0, 1):
+            m.add_transition(
+                ("idle", dest), f"issue{pick}", "issued", ("busy", pick)
+            )
+        # A dependent consumer: output differs only via the hazard.
+        for use in (0, 1):
+            out = "stall" if use == dest else "flow"
+            m.add_transition(
+                ("busy", dest), f"use{use}", out, ("idle", dest)
+            )
+        m.add_transition(("idle", dest), "use0", "flow", ("idle", dest))
+        m.add_transition(("idle", dest), "use1", "flow", ("idle", dest))
+        m.add_transition(("busy", dest), "issue0", "busy", ("busy", dest))
+        m.add_transition(("busy", dest), "issue1", "busy", ("busy", dest))
+    return m
+
+
+class TestDecomposition:
+    def test_tuple_by_position(self):
+        assert state_components(("a", 3)) == {0: "a", 1: 3}
+
+    def test_canonical_pairs_by_name(self):
+        assert state_components((("x", 1), ("y", 2))) == {"x": 1, "y": 2}
+
+    def test_mapping(self):
+        assert state_components({"p": 1}) == {"p": 1}
+
+    def test_scalar(self):
+        assert state_components("s3") == {(): "s3"}
+
+    def test_component_names_consistent(self):
+        m = hazard_machine()
+        assert component_names(m) == [0, 1]
+
+    def test_component_names_inconsistent_rejected(self):
+        m = MealyMachine(("a", 1))
+        m.add_transition(("a", 1), "i", "o", ("b",))
+        m.add_transition(("b",), "i", "o", ("a", 1))
+        with pytest.raises(ObservabilityError):
+            component_names(m)
+
+
+class TestSuggestion:
+    def test_hazard_machine_needs_dest_observed(self):
+        m = hazard_machine()
+        report = analyze_forall_k(m)
+        assert not report.holds  # ('idle',0) vs ('idle',1) etc.
+        scores = residual_components(m, report)
+        # Component 1 (the dest register) is the blocking one.
+        assert scores.get(1, 0) > 0
+        plan = suggest_observations(m)
+        assert plan.certified
+        assert 1 in plan.components
+
+    def test_auto_observe_certifies(self):
+        m = hazard_machine()
+        enriched, plan = auto_observe(m)
+        assert plan.certified
+        report = analyze_forall_k(enriched)
+        assert report.holds
+        assert report.k == plan.k
+
+    def test_already_certified_machine_untouched(self, counter3=None):
+        from repro.models import counter
+
+        m = counter(2)
+        enriched, plan = auto_observe(m)
+        assert plan.components == ()
+        assert plan.certified
+        assert enriched is m
+
+    def test_budget_respected(self):
+        m = hazard_machine()
+        plan = suggest_observations(m, max_components=0)
+        assert plan.components == ()
+        assert not plan.certified
+
+    def test_history_records_progress(self):
+        m = hazard_machine()
+        plan = suggest_observations(m)
+        assert plan.history
+        residuals = [remaining for _comp, remaining in plan.history]
+        assert residuals[-1] == 0
+
+    def test_shift_register_full_observation(self):
+        """Positional tuple states: observing every bit is sufficient
+        (and the analysis confirms a smaller k afterwards)."""
+        m = shift_register(2)
+        base = analyze_forall_k(m)
+        assert base.holds and base.k == 2
+        enriched, plan = auto_observe(m)
+        # Already certified: nothing to do.
+        assert plan.components == ()
