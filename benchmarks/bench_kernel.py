@@ -6,10 +6,19 @@ compilation win (process fan-out is benchmarked separately in
 
 * **word-parallel stuck-at fault simulation** -- the DLX control
   netlist's full single-stuck-at campaign.  The compiled kernel
-  levelizes the netlist once and simulates the golden circuit plus up
-  to 63 mutants per pass in the bit-lanes of machine words; the
-  interpreter builds and steps each faulty netlist separately.  This
-  is the headline: the issue's acceptance bar is >= 5x here.
+  levelizes the netlist once and simulates the golden circuit plus a
+  word's worth of mutants per pass in the bit-lanes of wide integer
+  words; the interpreter builds and steps each faulty netlist
+  separately.  This is the headline: the issue's acceptance bar is
+  >= 5x here.
+* **lane-width sweep** -- the same netlist against a replicated
+  4095-mutant population (the scale of PR 5's extra-state clone
+  domains) at 63 / 255 / 1023 / 4095 mutant lanes per pass.  Python
+  ints are arbitrary precision, so per-cycle interpreter overhead
+  amortizes over ever-wider words; the acceptance bar is a >= 5x
+  geomean over the legacy 63-lane width at widths >= 1023.
+  ``BENCH_REPORT_ONLY=1`` records the numbers without enforcing the
+  speedup floors (identity is always enforced).
 * **dense-table FSM fault campaign** -- every single output/transfer
   error on a 32-state counter against one transition tour.  The
   kernel replays the spec trajectory once and answers each mutant
@@ -22,6 +31,8 @@ Every variant asserts byte-identical results before any speed claim:
 speed never buys a different answer.
 """
 
+import math
+import os
 import time
 
 from conftest import emit
@@ -29,12 +40,24 @@ from conftest import emit
 from repro.core.distinguish import analyze_forall_k, distinguishability_matrix
 from repro.dlx import tour_model_inputs, tour_netlist
 from repro.faults import run_campaign
+from repro.kernel import DEFAULT_LANES, stuck_at_first_divergences
 from repro.models import counter
-from repro.rtl.faults import all_stuck_at_faults, run_stuck_at_campaign
+from repro.rtl.faults import (
+    all_stuck_at_faults,
+    detects_stuck_at,
+    run_stuck_at_campaign,
+)
 from repro.tour import transition_tour
 
 DLX_VECTORS = 300
 MIN_DLX_SPEEDUP = 5.0
+#: Mutant-lane widths swept against the replicated population; the
+#: first is the legacy PR-3 machine-word width that anchors the
+#: speedup claim.
+SWEEP_WIDTHS = (63, 255, 1023, 4095)
+SWEEP_POPULATION = 4095
+MIN_WIDE_GEOMEAN = 5.0
+REPORT_ONLY = bool(os.environ.get("BENCH_REPORT_ONLY"))
 
 
 def _timed(fn):
@@ -66,6 +89,40 @@ def test_compiled_kernel_speedup(benchmark):
     )
     dlx_speedup = t_interp / t_compiled if t_compiled else float("inf")
     dlx_identical = compiled == interp
+
+    # --- lane-width sweep on a replicated clone-scale population ---
+    distinct = all_stuck_at_faults(net, include_inputs=True)
+    oracle = [detects_stuck_at(net, f, vectors) for f in distinct]
+    by_fault = dict(zip(distinct, oracle))
+    population = (distinct * (SWEEP_POPULATION // len(distinct) + 1))[
+        :SWEEP_POPULATION
+    ]
+    expected = [by_fault[f] for f in population]
+    sweep_seconds = {}
+    sweep_identical = True
+    for width in SWEEP_WIDTHS:
+        got, elapsed = _timed(
+            lambda w=width: stuck_at_first_divergences(
+                net, vectors, population, lanes=w + 1
+            )
+        )
+        sweep_seconds[width] = elapsed
+        sweep_identical = sweep_identical and got == expected
+    # Dense (non-event-driven) reference at the default-scale width,
+    # so the history records what the dirty-set machinery costs/buys
+    # on this activity-dense workload.
+    dense_got, t_dense_1023 = _timed(
+        lambda: stuck_at_first_divergences(
+            net, vectors, population, lanes=1024, dirty=False
+        )
+    )
+    sweep_identical = sweep_identical and dense_got == expected
+    t_legacy = sweep_seconds[SWEEP_WIDTHS[0]]
+    wide = [w for w in SWEEP_WIDTHS if w >= 1023]
+    wide_geomean = math.exp(
+        sum(math.log(t_legacy / sweep_seconds[w]) for w in wide)
+        / len(wide)
+    )
 
     # --- dense-table FSM fault campaign ---
     machine = counter(5)  # 32 states, 2048 single-fault mutants
@@ -110,6 +167,19 @@ def test_compiled_kernel_speedup(benchmark):
             f"  interp:   {t_interp:8.3f}s",
             f"  compiled: {t_compiled:8.3f}s   speedup {dlx_speedup:6.1f}x"
             f"   identical: {dlx_identical}",
+            f"lane sweep: {len(population)} replicated faults x "
+            f"{len(vectors)} vectors, first divergences vs interp oracle",
+        ]
+        + [
+            f"  {width:>5} mutant lanes: {sweep_seconds[width]:8.3f}s   "
+            f"({t_legacy / sweep_seconds[width]:5.1f}x vs 63 lanes)"
+            for width in SWEEP_WIDTHS
+        ]
+        + [
+            f"   1023 lanes, dense: {t_dense_1023:8.3f}s   "
+            f"(dirty-set off)",
+            f"  wide-width geomean (>=1023 lanes): {wide_geomean:5.1f}x"
+            f"   identical: {sweep_identical}",
             f"FSM campaign: {fsm_interp.total} mutants x "
             f"{fsm_interp.test_length}-step tour (counter-5)",
             f"  interp:   {t_fsm_interp:8.3f}s",
@@ -130,6 +200,13 @@ def test_compiled_kernel_speedup(benchmark):
             "dlx_speedup": dlx_speedup,
             "dlx_identical": dlx_identical,
             "dlx_coverage": interp.coverage,
+            **{
+                f"dlx_sweep_w{width}_seconds": sweep_seconds[width]
+                for width in SWEEP_WIDTHS
+            },
+            "dlx_sweep_w1023_dense_seconds": t_dense_1023,
+            "dlx_sweep_wide_geomean": wide_geomean,
+            "dlx_sweep_identical": sweep_identical,
             "fsm_mutants": fsm_interp.total,
             "fsm_interp_seconds": t_fsm_interp,
             "fsm_compiled_seconds": t_fsm_compiled,
@@ -141,14 +218,30 @@ def test_compiled_kernel_speedup(benchmark):
             "pair_speedup": pair_speedup,
             "pair_identical": pair_identical,
         },
+        meta={
+            "lane_sweep_mutant_widths": list(SWEEP_WIDTHS),
+            "lane_sweep_population": len(population),
+            "default_lanes": DEFAULT_LANES,
+            "report_only": REPORT_ONLY,
+        },
     )
 
-    # Identity is unconditional: the kernels must be drop-in.
+    # Identity is unconditional: the kernels must be drop-in -- at
+    # every lane width and in both dirty-set modes.
     assert dlx_identical
     assert fsm_identical
     assert pair_identical
-    # The word-parallel win is hardware-independent -- 63 mutants per
-    # machine-word pass vs one netlist walk per mutant.
+    assert sweep_identical
+    if REPORT_ONLY:
+        return
+    # The word-parallel win is hardware-independent -- a word's worth
+    # of mutants per pass vs one netlist walk per mutant.
     assert dlx_speedup >= MIN_DLX_SPEEDUP, (
         f"compiled stuck-at kernel only {dlx_speedup:.1f}x over interp"
+    )
+    # Widening lanes past the machine word must keep paying: the
+    # geomean over the >=1023-lane widths anchors the claim against
+    # the legacy 63-lane kernel on a clone-scale population.
+    assert wide_geomean >= MIN_WIDE_GEOMEAN, (
+        f"wide lanes only {wide_geomean:.1f}x geomean over 63 lanes"
     )

@@ -70,7 +70,7 @@ def alt_test(alt_model, alt_tour):
     return fill_inputs(alt_model.concrete_vectors(alt_tour.inputs))
 
 
-def emit(title, lines, name=None, data=None):
+def emit(title, lines, name=None, data=None, meta=None):
     """Print a reproduced table with a recognizable banner.
 
     When ``name`` is given, the machine-readable ``data`` dict
@@ -89,4 +89,4 @@ def emit(title, lines, name=None, data=None):
     print("=" * 66)
     if name is not None:
         out_dir = os.environ.get("BENCH_JSON_DIR", REPO_ROOT)
-        record_bench(name, title, data or {}, out_dir=out_dir)
+        record_bench(name, title, data or {}, out_dir=out_dir, meta=meta)

@@ -352,6 +352,7 @@ def _run_suite_campaign_cli(args: argparse.Namespace, machine) -> int:
                 timeout=args.timeout,
                 retries=args.retries,
                 kernel=args.kernel,
+                lanes=args.lanes,
                 slice_size=args.journal_slice,
             )
         except RunDirError as exc:
@@ -367,6 +368,7 @@ def _run_suite_campaign_cli(args: argparse.Namespace, machine) -> int:
             timeout=args.timeout,
             retries=args.retries,
             kernel=args.kernel,
+            lanes=args.lanes,
         )
     if args.json:
         payload = result.to_json_dict()
@@ -385,9 +387,28 @@ def _run_suite_campaign_cli(args: argparse.Namespace, machine) -> int:
     return _campaign_exit(result.coverage == 1.0, result.degraded)
 
 
+def _parse_lanes(value) -> "int | None":
+    """Normalize a ``--lanes`` value: None for 'auto', else the total
+    lane count as an int (>= 2).  Raises ValueError on bad input."""
+    if value is None or value == "auto":
+        return None
+    lanes = int(value)  # ValueError on non-numeric input
+    if lanes < 2:
+        raise ValueError(
+            f"--lanes must be >= 2 (golden lane 0 plus at least one "
+            f"mutant lane), got {lanes}"
+        )
+    return lanes
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     if args.resume and not args.run_dir:
         print("--resume requires --run-dir", file=sys.stderr)
+        return 2
+    try:
+        args.lanes = _parse_lanes(args.lanes)
+    except ValueError as exc:
+        print(f"bad --lanes value: {exc}", file=sys.stderr)
         return 2
     chaos_plan = None
     if args.chaos:
@@ -428,6 +449,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                         timeout=args.timeout,
                         retries=args.retries,
                         kernel=args.kernel,
+                        lanes=args.lanes,
                         slice_size=args.journal_slice,
                     )
                 except RunDirError as exc:
@@ -443,6 +465,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                     timeout=args.timeout,
                     retries=args.retries,
                     kernel=args.kernel,
+                    lanes=args.lanes,
                 )
             if args.json:
                 print(json.dumps(campaign.to_json_dict(), indent=2,
@@ -478,6 +501,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                     timeout=args.timeout,
                     retries=args.retries,
                     kernel=args.kernel,
+                    lanes=args.lanes,
                     slice_size=args.journal_slice,
                 )
             except RunDirError as exc:
@@ -489,7 +513,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             result = run_campaign(
                 machine, tour.inputs, jobs=args.jobs,
                 timeout=args.timeout, retries=args.retries,
-                kernel=args.kernel,
+                kernel=args.kernel, lanes=args.lanes,
             )
         if args.json:
             print(json.dumps(result.to_json_dict(), indent=2,
@@ -765,9 +789,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("interp", "compiled"),
         default="compiled",
         help="simulation kernel: 'compiled' replays faults against "
-        "dense-table/word-parallel compilations in 63-mutant batches, "
-        "'interp' walks the machines per fault (the differential "
-        "oracle); verdicts are byte-identical",
+        "dense-table/word-parallel compilations in lane-packed "
+        "batches (width set by --lanes), 'interp' walks the machines "
+        "per fault (the differential oracle); verdicts are "
+        "byte-identical",
+    )
+    camp.add_argument(
+        "--lanes",
+        default="auto",
+        metavar="N",
+        help="total simulation lanes per word-parallel pass (golden "
+        "lane 0 plus N-1 mutants; Python ints are arbitrary "
+        "precision, so any N >= 2 works); 'auto' picks the kernel "
+        "default of 1024.  Verdicts are byte-identical at any width",
     )
     camp.add_argument(
         "--json",

@@ -32,6 +32,7 @@ from ..obs.events import emit_event, get_bus
 from ..core.theorems import CompletenessCertificate
 from ..parallel import (
     CampaignCache,
+    batch_unit,
     inputs_fingerprint,
     machine_fingerprint,
     parallel_map,
@@ -219,6 +220,7 @@ def sweep_verdicts(
     timeout: Optional[float] = None,
     retries: int = 0,
     kernel: str = "compiled",
+    lanes: object = None,
 ) -> List[FaultVerdict]:
     """One :class:`FaultVerdict` per fault, in submission order.
 
@@ -232,15 +234,24 @@ def sweep_verdicts(
     degradation event lands in the ``runtime.*`` metrics namespace.
     Only a fault the oracle itself cannot simulate raises
     :class:`CampaignExecutionError`.
+
+    ``lanes`` sizes the compiled kernel's fault batches (the lane-
+    packed Mealy kernel adjudicates one batch against the precomputed
+    spec trajectory); ``None``/``"auto"`` selects the kernel default.
+    Verdicts are byte-identical at any width.
     """
     _check_kernel(kernel)
     faults = list(faults)
     if not faults:
         return []
     if kernel == "compiled":
+        from ..kernel import resolve_lanes
+
+        width = resolve_lanes(lanes) - 1
         outcomes = parallel_map_batched(
             _detect_batch_task, faults, shared=(spec, test), jobs=jobs,
             timeout=timeout, retries=retries,
+            batch_size=batch_unit(len(faults), jobs, width),
         )
     else:
         outcomes = parallel_map(
@@ -309,6 +320,7 @@ def run_campaign(
     retries: int = 0,
     cache: Optional[CampaignCache] = None,
     kernel: str = "compiled",
+    lanes: object = None,
 ) -> CampaignResult:
     """Test every fault in ``faults`` (default: the full single-fault
     population) against the test set ``inputs``.
@@ -368,6 +380,7 @@ def run_campaign(
             swept = sweep_verdicts(
                 spec, test, [population[i] for i in pending],
                 jobs=jobs, timeout=timeout, retries=retries, kernel=kernel,
+                lanes=lanes,
             )
             for i, fv in zip(pending, swept):
                 verdicts[i] = fv.detected
@@ -469,6 +482,7 @@ def run_suite_campaign(
     retries: int = 0,
     cache: Optional[CampaignCache] = None,
     kernel: str = "compiled",
+    lanes: object = None,
 ) -> CampaignResult:
     """Campaign with a W/Wp/HSI :class:`~repro.tour.methods.TestSuite`
     as the traffic source.
@@ -496,6 +510,7 @@ def run_suite_campaign(
         retries=retries,
         cache=cache,
         kernel=kernel,
+        lanes=lanes,
     )
 
 
@@ -509,6 +524,7 @@ def certified_tour_campaign(
     timeout: Optional[float] = None,
     cache: Optional[CampaignCache] = None,
     kernel: str = "compiled",
+    lanes: object = None,
 ) -> CampaignResult:
     """Campaign with the Theorem 1 simulation discipline applied.
 
@@ -522,7 +538,7 @@ def certified_tour_campaign(
     padded = pad_inputs(spec, tour_inputs, k)
     return run_campaign(
         spec, padded, faults=faults, jobs=jobs, timeout=timeout, cache=cache,
-        kernel=kernel,
+        kernel=kernel, lanes=lanes,
     )
 
 

@@ -8,9 +8,11 @@ replays it with flat-array indexing and machine-word bitwise ops:
 
 * :mod:`.netlist_kernel` -- levelizes a netlist into an exec-generated
   SSA cycle function over bit-slots; one pass simulates the golden
-  design plus up to :data:`MUTANT_LANES` stuck-at mutants in the lanes
+  design plus a configurable number of stuck-at mutants in the lanes
   of ordinary Python ints (word-parallel fault simulation with
-  drop-on-detect masking).
+  drop-on-detect masking; ``lanes`` defaults to :data:`DEFAULT_LANES`
+  = 1024 total lanes, and the event-driven dirty-set mode skips
+  cycles where every live mutant is quiescent).
 * :mod:`.mealy_kernel` -- interns states/inputs to dense indices and
   replays tours by array indexing; fault campaigns reuse one
   precomputed spec trajectory per test set.
@@ -38,10 +40,12 @@ from .mealy_kernel import (
     detect_faults_compiled,
 )
 from .netlist_kernel import (
+    DEFAULT_LANES,
     MUTANT_LANES,
     CompiledNetlist,
     KernelError,
     compiled_netlist,
+    resolve_lanes,
     stuck_at_first_divergences,
 )
 from .pairs_kernel import (
@@ -50,6 +54,7 @@ from .pairs_kernel import (
 )
 
 __all__ = [
+    "DEFAULT_LANES",
     "MUTANT_LANES",
     "CompiledNetlist",
     "DenseMealy",
@@ -60,5 +65,6 @@ __all__ = [
     "detect_fault_compiled",
     "detect_faults_compiled",
     "distinguishability_matrix_kernel",
+    "resolve_lanes",
     "stuck_at_first_divergences",
 ]

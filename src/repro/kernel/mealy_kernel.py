@@ -141,7 +141,15 @@ class _Trajectory:
     site to the sorted list of step times the spec traverses it.
     """
 
-    __slots__ = ("state_idx", "inp_idx", "outs", "steps", "error", "visits")
+    __slots__ = (
+        "state_idx",
+        "inp_idx",
+        "outs",
+        "steps",
+        "error",
+        "visits",
+        "visited_mask",
+    )
 
     def __init__(self, dense: DenseMealy, test: Tuple[Input, ...]) -> None:
         s = dense.initial
@@ -163,9 +171,15 @@ class _Trajectory:
             self.state_idx.append(s)
         self.steps = len(self.inp_idx)
         self.visits: Dict[Tuple[int, int], List[int]] = {}
+        # Lane-packed visit set: bit ``state * n_inputs + input`` is
+        # set iff the spec ever traverses that site, so a word-sized
+        # batch of output-error faults adjudicates with one bit test
+        # per fault instead of a tuple-keyed dict probe.
+        self.visited_mask: int = 0
         for t in range(self.steps):
             site = (self.state_idx[t], self.inp_idx[t])
             self.visits.setdefault(site, []).append(t)
+            self.visited_mask |= 1 << (site[0] * n_inputs + site[1])
 
 
 def _trajectory(dense: DenseMealy, test: Tuple[Input, ...]) -> _Trajectory:
@@ -321,15 +335,55 @@ def detect_faults_compiled(
     Errors are encoded as the executor's ``"ExcType: message"`` strings
     instead of raised, so one invalid fault in a word-sized batch does
     not poison its batchmates' verdicts.
+
+    Output-error faults take a lane-packed fast path: the batch is
+    adjudicated against the precomputed spec trajectory with one
+    bitmask visit test per fault (``visited_mask`` bit ``state *
+    n_inputs + input``), skipping the per-fault dict probes and call
+    layers of :func:`detect_fault_compiled`.  Invalid faults (and
+    every other fault type) fall back to the per-fault path so the
+    authentic exception types and messages are preserved byte-for-
+    byte.
     """
     from ..parallel import TaskTimeout
 
+    dense = dense_mealy(spec)
+    test = tuple(inputs)
+    traj = _trajectory(dense, test)
+    nxt, out, n_inputs = dense.nxt, dense.out, dense.n_inputs
+    state_index, input_index = dense.state_index, dense.input_index
+    visited = traj.visited_mask
+    spec_died = traj.error is not None
     results: List[Tuple[str, Any]] = []
     for fault in faults:
         try:
-            results.append(
-                ("ok", detect_fault_compiled(spec, fault, inputs))
-            )
+            if isinstance(fault, OutputError):
+                si = state_index.get(fault.src, -1)
+                ii = input_index.get(fault.inp, -1)
+                if (
+                    si < 0
+                    or ii < 0
+                    or nxt[si * n_inputs + ii] < 0
+                    or out[si * n_inputs + ii] == fault.wrong_out
+                ):
+                    # Invalid fault: the slow path raises the
+                    # authentic FaultError via fault.apply.
+                    results.append(
+                        ("ok", detect_fault_compiled(spec, fault, test))
+                    )
+                elif (visited >> (si * n_inputs + ii)) & 1:
+                    # The mutant tracks the spec state exactly, so the
+                    # first site visit detects -- and every visit
+                    # happens strictly before any undefined spec step.
+                    results.append(("ok", True))
+                elif spec_died:
+                    raise MealyError(traj.error)
+                else:
+                    results.append(("ok", False))
+            else:
+                results.append(
+                    ("ok", detect_fault_compiled(spec, fault, test))
+                )
         except TaskTimeout:
             # Timeouts force singleton batches, so this is our whole
             # batch: let the executor record it as timed out.

@@ -134,10 +134,17 @@ def record_bench(
     data: Optional[Dict[str, Any]] = None,
     out_dir: Optional[str] = None,
     max_entries: int = MAX_ENTRIES,
+    meta: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Append one run's entry to ``BENCH_<name>.json``; returns the
     path written.  Creates the file (and directory) when missing and
-    upgrades legacy single-run files in place."""
+    upgrades legacy single-run files in place.
+
+    ``meta`` records run *configuration* (lane widths, population
+    sizes -- anything a later reader needs to interpret the numbers)
+    next to the measured ``data``; it is never consulted by the
+    regression gate, which only compares ``*_seconds`` keys in
+    ``data``."""
     path = bench_path(name, out_dir)
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     if os.path.exists(path):
@@ -156,6 +163,8 @@ def record_bench(
             "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
         ),
     }
+    if meta:
+        entry["meta"] = dict(meta)
     entries = list(doc.get("entries", []))
     entries.append(entry)
     doc = {

@@ -27,6 +27,7 @@ from .executor import (
     MUTANT_BATCH,
     TaskOutcome,
     TaskTimeout,
+    batch_unit,
     default_jobs,
     install_task_wrapper,
     parallel_map,
@@ -39,6 +40,7 @@ __all__ = [
     "CampaignCache",
     "TaskOutcome",
     "TaskTimeout",
+    "batch_unit",
     "battery_fingerprint",
     "default_jobs",
     "global_cache",

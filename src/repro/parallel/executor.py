@@ -71,8 +71,30 @@ class TaskOutcome:
 # Word-parallel kernels simulate the golden design plus up to 63 fault
 # mutants in the lanes of one machine word (see
 # repro.kernel.netlist_kernel); a batch of this size is the natural
-# unit of work to hand a worker process.
+# default unit of work to hand a worker process.  Kernels with wider
+# lane words size their batches with :func:`batch_unit` instead.
 MUTANT_BATCH = 63
+
+
+def batch_unit(
+    n_items: int, jobs: int, width: Optional[int] = None
+) -> int:
+    """Batch size for word-parallel kernels with ``width`` lanes of
+    payload per pass.
+
+    Serially (``jobs <= 1``) the full lane width is the right unit:
+    every pass is packed.  Under process fan-out a single full-width
+    batch could starve all but one worker, so the batch shrinks until
+    every worker gets ~4 batches (the same heuristic as
+    :func:`parallel_map`'s chunking) -- but never below 1 and never
+    above the lane width, so no batch overflows a simulation word.
+    """
+    width = MUTANT_BATCH if width is None else max(1, int(width))
+    jobs = max(1, int(jobs))
+    if jobs <= 1 or n_items <= 0:
+        return width
+    per_worker = math.ceil(n_items / (jobs * 4))
+    return max(1, min(width, per_worker))
 
 
 def default_jobs() -> int:

@@ -134,15 +134,15 @@ def _stuck_detect_task(
 
 
 def _stuck_batch_task(
-    shared: Tuple[Netlist, Tuple[Mapping[str, bool], ...]],
+    shared: Tuple[Netlist, Tuple[Mapping[str, bool], ...], object],
     batch: Sequence[StuckAt],
 ) -> List[Optional[int]]:
-    """Word-sized worker task: first divergences for up to 63 faults in
-    one bit-parallel pass over the vectors."""
-    golden, vectors = shared
+    """Word-sized worker task: first divergences for one lane word's
+    worth of faults in a single bit-parallel pass over the vectors."""
+    golden, vectors, lanes = shared
     from ..kernel import stuck_at_first_divergences
 
-    return stuck_at_first_divergences(golden, vectors, batch)
+    return stuck_at_first_divergences(golden, vectors, batch, lanes=lanes)
 
 
 def run_stuck_at_campaign(
@@ -152,15 +152,18 @@ def run_stuck_at_campaign(
     *,
     jobs: int = 1,
     kernel: str = "compiled",
+    lanes: object = None,
 ) -> StructuralCampaignResult:
     """Fault-simulate every stuck-at fault against the vector set.
 
     ``kernel="compiled"`` (default) simulates the golden netlist plus
-    up to 63 mutants per pass in the bit-lanes of machine words (see
-    :mod:`repro.kernel.netlist_kernel`); ``"interp"`` compiles and
-    steps each mutant netlist separately.  ``jobs`` fans word-batches
-    (or single faults, under ``interp``) out to worker processes.
-    Verdicts are byte-identical across kernels and job counts.
+    ``lanes - 1`` mutants per pass in the bit-lanes of wide integer
+    words (see :mod:`repro.kernel.netlist_kernel`; ``lanes=None`` /
+    ``"auto"`` selects the kernel default of 1024 total lanes);
+    ``"interp"`` compiles and steps each mutant netlist separately.
+    ``jobs`` fans word-batches (or single faults, under ``interp``)
+    out to worker processes.  Verdicts are byte-identical across
+    kernels, job counts, and lane widths.
     """
     if kernel not in ("interp", "compiled"):
         raise ValueError(
@@ -179,6 +182,9 @@ def run_stuck_at_campaign(
     )
     divergences: List[Optional[int]]
     if kernel == "compiled":
+        from ..kernel import resolve_lanes
+
+        width = resolve_lanes(lanes)
         # Surface bad fault targets eagerly (and from the parent
         # process), with the same error apply() would raise.
         known = set(golden.inputs) | set(golden.register_names)
@@ -189,14 +195,15 @@ def run_stuck_at_campaign(
             from ..kernel import stuck_at_first_divergences
 
             divergences = stuck_at_first_divergences(
-                golden, vec_list, population
+                golden, vec_list, population, lanes=width
             )
         else:
-            from ..parallel import parallel_map_batched
+            from ..parallel import batch_unit, parallel_map_batched
 
             outcomes = parallel_map_batched(
                 _stuck_batch_task, population,
-                shared=(golden, vec_list), jobs=jobs,
+                shared=(golden, vec_list, width), jobs=jobs,
+                batch_size=batch_unit(len(population), jobs, width - 1),
             )
             divergences = [
                 outcome.value if outcome.ok

@@ -189,15 +189,18 @@ def run_campaign_resumable(
     timeout: Optional[float] = None,
     retries: int = 0,
     kernel: str = "compiled",
+    lanes: object = None,
     slice_size: int = DEFAULT_SLICE,
 ) -> CampaignRun:
     """:func:`repro.faults.run_campaign` with a journaled run dir.
 
     Identity (manifest-pinned, resume-enforced): machine structure,
     test set, fault population, kernel and timeout -- everything a
-    verdict depends on.  ``jobs``/``retries``/``slice_size`` are
-    recorded but may change across resumes; verdicts are independent
-    of them by the differential guarantee.
+    verdict depends on.  ``jobs``/``retries``/``lanes``/``slice_size``
+    are recorded but may change across resumes; verdicts are
+    independent of them by the differential guarantee (a run
+    interrupted at one lane width resumes byte-identically at any
+    other).
     """
     _check_kernel(kernel)
     population = (
@@ -215,7 +218,8 @@ def run_campaign_resumable(
         "timeout": timeout,
     }
     settings = {
-        "jobs": jobs, "retries": retries, "slice_size": slice_size
+        "jobs": jobs, "retries": retries, "slice_size": slice_size,
+        "lanes": lanes,
     }
     paths = run_paths(run_dir)
     with span(
@@ -263,7 +267,7 @@ def run_campaign_resumable(
                 swept = sweep_verdicts(
                     spec, test, [population[i] for i in chunk],
                     jobs=jobs, timeout=timeout, retries=retries,
-                    kernel=kernel,
+                    kernel=kernel, lanes=lanes,
                 )
                 for index, verdict in zip(chunk, swept):
                     journal.append({
@@ -362,6 +366,7 @@ def run_bug_campaign_resumable(
     timeout: Optional[float] = None,
     retries: int = 0,
     kernel: str = "compiled",
+    lanes: object = None,
     slice_size: int = DEFAULT_SLICE,
 ) -> BugCampaignRun:
     """:func:`repro.validation.run_bug_campaign` with a journaled run
@@ -386,7 +391,8 @@ def run_bug_campaign_resumable(
         "timeout": timeout,
     }
     settings = {
-        "jobs": jobs, "retries": retries, "slice_size": slice_size
+        "jobs": jobs, "retries": retries, "slice_size": slice_size,
+        "lanes": lanes,
     }
     paths = run_paths(run_dir)
     with span(
@@ -457,7 +463,7 @@ def run_bug_campaign_resumable(
                 verdicts = sweep_bug_verdicts(
                     prepared, [catalog[i] for i in chunk],
                     jobs=jobs, timeout=timeout, retries=retries,
-                    kernel=kernel,
+                    kernel=kernel, lanes=lanes,
                 )
                 for index, verdict in zip(chunk, verdicts):
                     entry = catalog[index]

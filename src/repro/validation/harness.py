@@ -25,6 +25,7 @@ from ..parallel import (
     MUTANT_BATCH,
     CampaignCache,
     TaskTimeout,
+    batch_unit,
     battery_fingerprint,
     parallel_map,
     parallel_map_batched,
@@ -249,6 +250,7 @@ def sweep_bug_verdicts(
     timeout: Optional[float] = None,
     retries: int = 0,
     kernel: str = "compiled",
+    lanes: object = None,
 ) -> List[BugVerdict]:
     """One :class:`BugVerdict` per catalog entry, in submission order.
 
@@ -257,18 +259,25 @@ def sweep_bug_verdicts(
     and re-run them in-process (graceful degradation) instead of
     aborting the sweep; see
     :func:`repro.faults.campaign.sweep_verdicts` for the rationale.
+    ``lanes`` sizes the compiled batches (``None``/``"auto"`` = the
+    kernel default width); verdicts are width-independent.
     """
     entries = list(entries)
     if not entries:
         return []
     if kernel == "compiled":
+        if lanes is None or lanes == "auto":
+            width = MUTANT_BATCH
+        else:
+            from ..kernel import resolve_lanes
+
+            width = resolve_lanes(lanes) - 1
         # Keep at least jobs*4 batches in flight so a short catalog
         # still fans out across every worker.
-        per_worker = -(-len(entries) // (max(1, int(jobs)) * 4))
         outcomes = parallel_map_batched(
             _bug_entry_batch_task, entries, shared=prepared, jobs=jobs,
             timeout=timeout, retries=retries,
-            batch_size=max(1, min(MUTANT_BATCH, per_worker)),
+            batch_size=batch_unit(len(entries), jobs, width),
         )
     else:
         outcomes = parallel_map(
@@ -349,6 +358,7 @@ def run_bug_campaign(
     retries: int = 0,
     cache: Optional[CampaignCache] = None,
     kernel: str = "compiled",
+    lanes: object = None,
 ) -> BugCampaignResult:
     """Run every catalog bug against a battery of test programs.
 
@@ -419,6 +429,7 @@ def run_bug_campaign(
                 timeout=timeout,
                 retries=retries,
                 kernel=kernel,
+                lanes=lanes,
             )
             for i, verdict in zip(pending, verdicts):
                 entry = catalog[i]

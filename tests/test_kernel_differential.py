@@ -298,6 +298,11 @@ class TestCompiledNetlist:
         base = all_stuck_at_faults(nl, include_inputs=True)
         faults = (base * ((2 * MUTANT_LANES) // len(base) + 1))
         ref = [detects_stuck_at(nl, f, vectors) for f in faults]
+        # The legacy machine-word width chunks this into 3 passes; the
+        # default width packs it into one.  Both must match per fault.
+        assert stuck_at_first_divergences(
+            nl, vectors, faults, lanes=MUTANT_LANES + 1
+        ) == ref
         assert stuck_at_first_divergences(nl, vectors, faults) == ref
 
     @SETTINGS
