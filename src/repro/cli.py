@@ -51,15 +51,10 @@ from typing import Iterator, List, Optional
 from . import models as model_zoo
 from .tour.methods import SUITE_METHODS
 
-CANONICAL_MODELS = {
-    "vending": model_zoo.vending_machine,
-    "traffic": model_zoo.traffic_light,
-    "adder": model_zoo.serial_adder,
-    "abp": model_zoo.alternating_bit_sender,
-    "figure2": lambda: model_zoo.figure2_fragment()[0],
-    "counter": model_zoo.counter,
-    "shiftreg": model_zoo.shift_register,
-}
+# The shared registry object (not a copy): tests and plugins that add
+# a model here are visible to the campaign service's target resolution
+# too, and vice versa.
+CANONICAL_MODELS = model_zoo.CANONICAL_MODELS
 
 #: Exit status for a campaign that reached full coverage but only by
 #: degrading (quarantined tasks re-run on the interpreter oracle).
@@ -683,6 +678,154 @@ def cmd_catalog(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the fault-tolerant campaign service until interrupted."""
+    import time
+
+    from .obs import MetricsRegistry, install_registry
+    from .service import Coordinator, ServiceServer
+
+    try:
+        coordinator = Coordinator(
+            args.root,
+            shard_size=args.shard_size,
+            lease_seconds=args.lease_seconds,
+            queue_limit=args.queue_limit,
+            quarantine_after=args.quarantine_after,
+            max_attempts=args.max_attempts,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    # A live registry so /metrics reports real counters; an optional
+    # live bus so --events captures the service.* lifecycle stream.
+    previous_registry = install_registry(MetricsRegistry())
+    jsonl_sink = previous_bus = bus = None
+    if args.events:
+        from .obs import EventBus, JsonlSink, install_bus
+
+        bus = EventBus()
+        jsonl_sink = bus.add_sink(JsonlSink(args.events))
+        previous_bus = install_bus(bus)
+    server = ServiceServer(
+        coordinator, host=args.host, port=args.port
+    ).start()
+    # The URL on stdout (scripts read it); the prose on stderr.
+    print(server.url, flush=True)
+    print(
+        f"campaign service listening on {server.url} "
+        f"(state under {args.root}; POST /api/campaigns to submit)",
+        file=sys.stderr,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        server.stop()
+        if bus is not None:
+            from .obs import install_bus
+
+            install_bus(previous_bus)
+            jsonl_sink.close()
+        install_registry(previous_registry)
+
+
+def cmd_shard_worker(args: argparse.Namespace) -> int:
+    """Run one shard-worker loop against a campaign service."""
+    from .service import ShardWorker
+
+    chaos = None
+    if args.chaos:
+        from .runtime import parse_shard_plan
+
+        try:
+            chaos = parse_shard_plan(args.chaos)
+        except ValueError as exc:
+            print(f"bad --chaos spec: {exc}", file=sys.stderr)
+            return 2
+    worker = ShardWorker(
+        args.url,
+        worker_id=args.worker_id,
+        poll=args.poll,
+        max_shards=args.max_shards,
+        max_idle_seconds=args.max_idle,
+        chaos=chaos,
+    )
+    try:
+        return worker.run()
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a campaign to a service; exit like `repro campaign`."""
+    from .service import (
+        ServiceError,
+        submit_campaign,
+        wait_for_campaign,
+    )
+
+    try:
+        lanes = _parse_lanes(args.lanes)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    spec = {
+        "target": args.target,
+        "method": args.method,
+        "suite": args.suite,
+        "extra_states": args.extra_states,
+        "kernel": args.kernel,
+        "lanes": lanes,
+        "timeout": args.timeout,
+    }
+    try:
+        view = submit_campaign(args.url, spec)
+        if not args.no_wait and view.get("state") == "running":
+            view = wait_for_campaign(
+                args.url,
+                view["campaign"],
+                poll=args.poll,
+                timeout=args.wait_timeout,
+            )
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(view, indent=2, sort_keys=True))
+    state = view.get("state")
+    if state == "running":
+        if not args.json:
+            print(
+                f"campaign {view['campaign']} running "
+                f"({view.get('filled', 0)}/{view.get('total', '?')})"
+            )
+        return 0
+    if state != "done":
+        print(
+            f"campaign {view.get('campaign')} {state}: "
+            f"{view.get('error')}",
+            file=sys.stderr,
+        )
+        return 1
+    coverage = float(view.get("coverage") or 0.0)
+    if not args.json:
+        line = (
+            f"campaign {view['campaign'][:12]} done: coverage "
+            f"{coverage:.1%} ({view.get('filled')}/{view.get('total')})"
+        )
+        if view.get("cached"):
+            line += " [answered from result store, zero simulations]"
+        if view.get("degraded"):
+            line += " [degraded]"
+        print(line)
+    return _campaign_exit(
+        coverage == 1.0, bool(view.get("degraded"))
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -920,6 +1063,165 @@ def build_parser() -> argparse.ArgumentParser:
         "report-only",
     )
     bench.set_defaults(func=cmd_bench_report)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant campaign service: lease-based "
+        "sharding, heartbeats, back-pressure, content-addressed "
+        "result store",
+    )
+    serve.add_argument(
+        "--root",
+        default=".repro-service",
+        metavar="DIR",
+        help="service state directory: the result store plus one "
+        "spool journal per in-flight campaign (default "
+        ".repro-service)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (0 picks an ephemeral one; the bound URL "
+        "is printed on stdout)",
+    )
+    serve.add_argument(
+        "--shard-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="faults per shard (one lease covers one shard)",
+    )
+    serve.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="lease duration; a worker missing heartbeats for this "
+        "long loses its shard to reassignment",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        metavar="N",
+        help="max campaigns in flight before submissions get 429 + "
+        "Retry-After",
+    )
+    serve.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=3,
+        metavar="N",
+        help="failed attempts before a shard is presumed poisoned "
+        "and bisected (singletons fall back to the interpreter "
+        "oracle and are stamped degraded)",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=12,
+        metavar="N",
+        help="total failed attempts before the campaign is failed",
+    )
+    serve.add_argument(
+        "--events",
+        metavar="FILE",
+        help="stream the service event bus (admissions, leases, "
+        "expiries, bisections, store hits) to FILE as JSONL",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    worker = sub.add_parser(
+        "shard-worker",
+        help="lease, simulate and report campaign shards from a "
+        "`repro serve` coordinator",
+    )
+    worker.add_argument(
+        "url", help="service base URL (printed by `repro serve`)"
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker name for leases (default host-pid)",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="idle poll interval (jittered per worker)",
+    )
+    worker.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit 0 after completing N shards (test harnesses)",
+    )
+    worker.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        metavar="S",
+        help="exit 0 after S consecutive seconds without work",
+    )
+    worker.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help="deterministic shard-level failure injection, e.g. "
+        "'seed=7,kill=0.2,hang=0.1,hang_seconds=2': kill SIGKILLs "
+        "the worker right after leasing, hang goes silent (no "
+        "heartbeats) and reports late; both fire only on a shard's "
+        "first attempt so harassed campaigns still converge",
+    )
+    worker.set_defaults(func=cmd_shard_worker)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a campaign to a `repro serve` coordinator and "
+        "wait for the verdict (exit codes match `repro campaign`)",
+    )
+    submit.add_argument("url", help="service base URL")
+    submit.add_argument(
+        "target",
+        help="'dlx' for the pipeline bug-catalog sweep, or one of "
+        + ", ".join(sorted(CANONICAL_MODELS)),
+    )
+    submit.add_argument(
+        "--method", choices=("cpp", "greedy"), default="cpp"
+    )
+    submit.add_argument(
+        "--suite",
+        choices=("tour",) + SUITE_METHODS,
+        default="tour",
+    )
+    submit.add_argument(
+        "--extra-states", type=int, default=0, metavar="K"
+    )
+    submit.add_argument("--timeout", type=float, default=None)
+    submit.add_argument(
+        "--kernel", choices=("interp", "compiled"), default="compiled"
+    )
+    submit.add_argument("--lanes", default="auto", metavar="N")
+    submit.add_argument(
+        "--json",
+        action="store_true",
+        help="print the campaign view (with report once done) as JSON",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="return right after admission instead of polling",
+    )
+    submit.add_argument(
+        "--poll", type=float, default=0.2, metavar="S"
+    )
+    submit.add_argument(
+        "--wait-timeout", type=float, default=300.0, metavar="S"
+    )
+    submit.set_defaults(func=cmd_submit)
     return parser
 
 

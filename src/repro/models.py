@@ -196,3 +196,31 @@ def vending_machine() -> MealyMachine:
             0,
         )
     return m
+
+
+#: The canonical model zoo by CLI/service target name.  ``repro tour``,
+#: ``repro campaign`` and the campaign service all resolve targets
+#: through this one registry, so a service worker rebuilds exactly the
+#: machine the submitting client named.
+CANONICAL_MODELS = {
+    "vending": vending_machine,
+    "traffic": traffic_light,
+    "adder": serial_adder,
+    "abp": alternating_bit_sender,
+    "figure2": lambda: figure2_fragment()[0],
+    "counter": counter,
+    "shiftreg": shift_register,
+}
+
+
+def build_model(name: str) -> MealyMachine:
+    """The canonical model called ``name``; raises ``KeyError`` with
+    the known names when there is no such model."""
+    try:
+        builder = CANONICAL_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; choose from "
+            f"{', '.join(sorted(CANONICAL_MODELS))}"
+        ) from None
+    return builder()

@@ -28,6 +28,10 @@ Event taxonomy (names are dotted, lowest-frequency first):
     A slice of verdicts was journaled and fsynced.
 ``run.resumed``
     A journaled run replayed its journal (replay accounting).
+``service.*``
+    Campaign-service lifecycle: submissions admitted, shards leased,
+    leases expired, shards completed/bisected, result-store hits.
+    Lease traffic is timing-dependent by nature.
 
 **The determinism contract.**  Event *payloads* carry only data that
 is byte-identical at any ``--jobs`` / ``--kernel`` setting; wall-clock
@@ -67,13 +71,15 @@ from typing import (
 
 #: Event-name prefixes whose occurrence depends on scheduling or the
 #: environment (task placement, worker failures, journal slicing,
-#: resume accounting).  Excluded from the deterministic view, exactly
-#: like the ``parallel.*`` / ``runtime.*`` metric namespaces.
+#: resume accounting, campaign-service lease/shard traffic).  Excluded
+#: from the deterministic view, exactly like the ``parallel.*`` /
+#: ``runtime.*`` metric namespaces.
 SCHEDULING_PREFIXES: Tuple[str, ...] = (
     "chunk.",
     "worker.",
     "journal.",
     "run.",
+    "service.",
 )
 
 

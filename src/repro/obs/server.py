@@ -40,12 +40,32 @@ StatusProvider = Callable[[], Dict[str, Any]]
 MetricsProvider = Callable[[], Dict[str, Any]]
 EventsProvider = Callable[[int], List[Dict[str, Any]]]
 
+#: Per-connection socket timeout (seconds).  One stalled or
+#: half-closed client times out instead of parking a handler thread
+#: (and, transitively, anything serialized behind it) forever.
+SOCKET_TIMEOUT = 10.0
 
-def ring_events_provider(ring: RingBufferSink) -> EventsProvider:
-    """An ``/events`` provider reading a live ring-buffer sink."""
+#: Hard ceiling on a single response body.  Telemetry responses are
+#: small by construction; anything larger indicates a runaway provider
+#: and is refused rather than streamed to a possibly-slow client.
+MAX_RESPONSE_BYTES = 2 * 1024 * 1024
+
+#: Events per ``/events`` response.  Clients page with ``since=N``
+#: (each event carries its ``seq``), so a bounded window loses nothing.
+MAX_EVENTS_PER_RESPONSE = 1024
+
+
+def ring_events_provider(
+    ring: RingBufferSink, limit: int = MAX_EVENTS_PER_RESPONSE
+) -> EventsProvider:
+    """An ``/events`` provider reading a live ring-buffer sink.
+
+    At most ``limit`` events per call (the *oldest* retained events
+    after ``since``, so a paging client never skips any).
+    """
 
     def provide(since: int) -> List[Dict[str, Any]]:
-        return [e.to_json_dict() for e in ring.since(since)]
+        return [e.to_json_dict() for e in ring.since(since)[:limit]]
 
     return provide
 
@@ -79,6 +99,10 @@ def registry_metrics_provider() -> MetricsProvider:
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-status/1"
 
+    #: Per-connection socket timeout (socketserver applies it in
+    #: ``setup()``): a stalled client cannot wedge its handler thread.
+    timeout = SOCKET_TIMEOUT
+
     # Set per-server via the factory in StatusServer.__init__.
     status_provider: StatusProvider
     metrics_provider: MetricsProvider
@@ -87,8 +111,23 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, *_args: Any) -> None:
         """Silence per-request stderr logging."""
 
+    def handle(self) -> None:
+        """One connection; socket timeouts and client resets are a
+        normal end-of-conversation, not a server error."""
+        try:
+            super().handle()
+        except (TimeoutError, OSError):
+            self.close_connection = True
+
     def _send(self, code: int, content_type: str, body: str) -> None:
         data = body.encode("utf-8")
+        if len(data) > MAX_RESPONSE_BYTES:
+            # Refuse runaway payloads instead of feeding megabytes to
+            # a client that may be reading one byte per timeout.
+            data = json.dumps({
+                "error": f"response exceeds {MAX_RESPONSE_BYTES} bytes"
+            }).encode("utf-8") + b"\n"
+            code, content_type = 500, "application/json"
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))

@@ -16,6 +16,7 @@ engine the campaign layers (:mod:`repro.faults.campaign` and
   skip re-simulating unchanged mutants.
 """
 
+from .backoff import BackoffPolicy
 from .cache import (
     CampaignCache,
     battery_fingerprint,
@@ -37,6 +38,7 @@ from .executor import (
 
 __all__ = [
     "MUTANT_BATCH",
+    "BackoffPolicy",
     "CampaignCache",
     "TaskOutcome",
     "TaskTimeout",

@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import SECONDS_BUCKETS, get_registry, span
 from ..obs.events import get_bus
+from .backoff import BackoffPolicy
 
 
 class TaskTimeout(Exception):
@@ -184,6 +185,7 @@ def _run_one(
     item: Any,
     timeout: Optional[float],
     retries: int,
+    backoff: Optional[BackoffPolicy] = None,
 ) -> _Record:
     args = (item,) if shared is None else (shared, item)
     attempts = 0
@@ -214,6 +216,12 @@ def _run_one(
                     time.perf_counter() - started,
                     pid,
                 )
+            if backoff is not None:
+                # Jittered exponential backoff, deterministic under the
+                # policy's seed (keyed by submission index, so every
+                # task replays its own schedule).  Delays never touch
+                # verdicts; differential tests stay byte-identical.
+                time.sleep(backoff.delay(attempts, key=str(index)))
 
 
 def _run_chunk(
@@ -222,10 +230,11 @@ def _run_chunk(
     pairs: Sequence[Tuple[int, Any]],
     timeout: Optional[float],
     retries: int,
+    backoff: Optional[BackoffPolicy] = None,
 ) -> List[_Record]:
     """Worker entry point: run one chunk of (index, item) pairs."""
     return [
-        _run_one(fn, shared, index, item, timeout, retries)
+        _run_one(fn, shared, index, item, timeout, retries, backoff)
         for index, item in pairs
     ]
 
@@ -285,6 +294,7 @@ def parallel_map(
     timeout: Optional[float] = None,
     retries: int = 0,
     chunk_size: Optional[int] = None,
+    backoff: Optional[BackoffPolicy] = None,
 ) -> List[TaskOutcome]:
     """Run ``fn`` over ``items``; outcomes in submission order.
 
@@ -294,6 +304,10 @@ def parallel_map(
     instead of once per item.  With ``jobs <= 1`` everything runs
     in-process; otherwise chunks are distributed over a process pool
     and any chunk the pool fails to deliver is re-run locally.
+
+    ``backoff`` (a :class:`BackoffPolicy`) spaces the ``retries``
+    re-runs of a failing task with deterministic jittered exponential
+    delays; ``None`` (the default) retries immediately.
     """
     work = list(items)
     if not work:
@@ -312,7 +326,8 @@ def parallel_map(
             outcomes = []
             for i, item in enumerate(work):
                 outcomes.append(TaskOutcome(
-                    *_run_one(fn, shared, i, item, timeout, retries)
+                    *_run_one(fn, shared, i, item, timeout, retries,
+                              backoff)
                 ))
                 if bus.enabled:
                     bus.emit("chunk.completed", items=1, mode="serial")
@@ -345,7 +360,8 @@ def parallel_map(
                 futures = {}
                 for chunk in chunks:
                     futures[pool.submit(
-                        _run_chunk, fn, shared, chunk, timeout, retries
+                        _run_chunk, fn, shared, chunk, timeout, retries,
+                        backoff,
                     )] = chunk
                     if bus.enabled:
                         bus.emit(
@@ -374,7 +390,7 @@ def parallel_map(
             if index not in records:
                 fallback += 1
                 records[index] = _run_one(fn, shared, index, item,
-                                          timeout, retries)
+                                          timeout, retries, backoff)
         if fallback and bus.enabled:
             bus.emit("chunk.completed", items=fallback, mode="fallback")
     outcomes = [TaskOutcome(*records[index]) for index in range(len(work))]
@@ -391,6 +407,7 @@ def parallel_map_batched(
     timeout: Optional[float] = None,
     retries: int = 0,
     batch_size: int = MUTANT_BATCH,
+    backoff: Optional[BackoffPolicy] = None,
 ) -> List[TaskOutcome]:
     """Run a *batched* ``fn`` over ``items``; per-item outcomes in
     submission order.
@@ -420,7 +437,7 @@ def parallel_map_batched(
     ]
     batch_outcomes = parallel_map(
         fn, batches, shared=shared, jobs=jobs, timeout=timeout,
-        retries=retries,
+        retries=retries, backoff=backoff,
     )
     outcomes: List[TaskOutcome] = []
     for batch, outcome in zip(batches, batch_outcomes):

@@ -24,8 +24,10 @@ from .chaos import (
     ChaosError,
     ChaosPlan,
     ChaoticTask,
+    ShardChaosPlan,
     chaos_scope,
     parse_plan,
+    parse_shard_plan,
 )
 from .journal import (
     FORMAT_VERSION,
@@ -39,6 +41,7 @@ from .journal import (
     RunDirError,
     atomic_write_json,
     check_manifest,
+    fsync_dir,
     read_manifest,
     write_manifest,
 )
@@ -49,6 +52,8 @@ from .runner import (
     ReplayedMismatch,
     ResumeStats,
     RunPaths,
+    dlx_campaign_identity,
+    fsm_campaign_identity,
     run_bug_campaign_resumable,
     run_campaign_resumable,
     run_paths,
@@ -74,10 +79,15 @@ __all__ = [
     "ResumeStats",
     "RunDirError",
     "RunPaths",
+    "ShardChaosPlan",
     "atomic_write_json",
     "chaos_scope",
     "check_manifest",
+    "dlx_campaign_identity",
+    "fsm_campaign_identity",
+    "fsync_dir",
     "parse_plan",
+    "parse_shard_plan",
     "read_manifest",
     "run_bug_campaign_resumable",
     "run_campaign_resumable",

@@ -168,6 +168,91 @@ class ChaoticTask:
         return self.fn(*args)
 
 
+# --------------------------------------------------------------------
+# Service-layer chaos: shard workers that die or go silent mid-shard
+# --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardChaosPlan:
+    """Deterministic failure injection for campaign-service workers.
+
+    Where :class:`ChaosPlan` harasses individual executor tasks inside
+    one process tree, this plan harasses whole *shard workers* talking
+    to a coordinator over HTTP -- the failure domain the lease
+    protocol exists for:
+
+    ``kill``
+        ``SIGKILL`` the worker right after it leased the shard: the
+        lease goes unheartbeaten, expires, and the coordinator must
+        reassign the shard to a survivor.
+    ``hang``
+        Go silent (stop heartbeating, sleep ``hang_seconds``) after
+        simulating the shard, then report late -- the zombie-worker
+        case: by then the lease has expired and been reassigned, and
+        the late verdicts must be deduplicated, never double-counted.
+
+    The mode depends only on ``(seed, campaign, shard)`` and fires
+    only on a shard's *first* lease (``attempt == 0``), so every
+    chaos-harassed service run terminates: the reassignment of a
+    killed or abandoned shard is always clean.
+    """
+
+    seed: int = 0
+    kill: float = 0.0
+    hang: float = 0.0
+    #: How long a hanging worker stays silent; keep it above the
+    #: coordinator's lease so the lease actually expires.
+    hang_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        rates = (self.kill, self.hang)
+        if any(r < 0 or r > 1 for r in rates) or sum(rates) > 1:
+            raise ValueError(
+                f"shard chaos rates must lie in [0, 1] and sum to <= 1: "
+                f"kill={self.kill}, hang={self.hang}"
+            )
+
+    def mode_for(
+        self, campaign: str, shard: int, attempt: int
+    ) -> Optional[str]:
+        """``"kill"``, ``"hang"`` or None for one shard lease."""
+        if attempt:
+            return None
+        digest = hashlib.sha256(
+            f"{self.seed}:{campaign}:{shard}".encode(
+                "utf-8", "backslashreplace"
+            )
+        ).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        if fraction < self.kill:
+            return "kill"
+        if fraction < self.kill + self.hang:
+            return "hang"
+        return None
+
+
+def parse_shard_plan(spec: str) -> ShardChaosPlan:
+    """A :class:`ShardChaosPlan` from a ``--chaos`` spec string, e.g.
+    ``"seed=3,kill=1.0"`` or ``"hang=0.5,hang_seconds=1"``."""
+    kwargs: dict = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or key not in ("seed", "kill", "hang", "hang_seconds"):
+            raise ValueError(f"bad shard chaos spec part {part!r}")
+        try:
+            kwargs[key] = int(value) if key == "seed" else float(value)
+        except ValueError:
+            raise ValueError(
+                f"bad shard chaos spec part {part!r}: not a number"
+            ) from None
+    return ShardChaosPlan(**kwargs)
+
+
 @contextmanager
 def chaos_scope(plan: Optional[ChaosPlan]) -> Iterator[None]:
     """Route every ``parallel_map`` task through ``plan`` while the

@@ -32,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Optional, Tuple
 
@@ -144,19 +145,53 @@ class Journal:
         return JournalReplay(records=tuple(records), dropped=dropped)
 
 
+def fsync_dir(directory: str) -> None:
+    """Best-effort fsync of a directory, making a just-completed
+    ``os.replace`` inside it survive power loss (no-op where
+    directories cannot be opened, e.g. Windows)."""
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_json(path: str, obj: Any) -> None:
     """Write ``obj`` as pretty JSON via temp file + ``os.replace``.
 
     Readers (and a resumed run) therefore only ever see a complete
-    file or no file -- never a half-written report.
+    file or no file -- never a half-written report.  The temp file is
+    uniquely named (``mkstemp`` in the target directory), so two
+    concurrent writers -- a resumed runner racing a service finalize,
+    two processes sharing a result store -- can never clobber each
+    other's half-written bytes: last ``os.replace`` wins atomically.
+    The directory is fsynced after the replace so the rename itself
+    is on disk before the caller treats the write as committed.
     """
-    tmp = f"{path}.tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(obj, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(obj, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fsync_dir(directory)
 
 
 def write_manifest(

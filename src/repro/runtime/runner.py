@@ -78,6 +78,54 @@ from .journal import (
 DEFAULT_SLICE = 64
 
 
+def fsm_campaign_identity(
+    spec: Any,
+    test: Sequence[Any],
+    population: Sequence[Fault],
+    kernel: str,
+    timeout: Optional[float],
+) -> Dict[str, Any]:
+    """The manifest identity of an FSM campaign: everything a verdict
+    depends on (and nothing scheduling-dependent -- ``jobs``, ``lanes``
+    and slice sizes are settings, not identity).  Shared between the
+    run-dir manifest and the service's content-addressed result store,
+    so both address the same work by the same digest."""
+    return {
+        "kind": "fsm",
+        "machine": spec.name,
+        "machine_fingerprint": machine_fingerprint(spec),
+        "test_fingerprint": inputs_fingerprint(tuple(test)),
+        "fault_count": len(population),
+        "fault_digest": journal_digest(repr(f) for f in population),
+        "kernel": kernel,
+        "timeout": timeout,
+    }
+
+
+def dlx_campaign_identity(
+    tests: Sequence[Tuple],
+    catalog: Sequence[BugEntry],
+    test_name: str,
+    kernel: str,
+    timeout: Optional[float],
+) -> Dict[str, Any]:
+    """The manifest identity of a DLX bug-catalog campaign (see
+    :func:`fsm_campaign_identity`)."""
+    return {
+        "kind": "dlx",
+        "test_name": test_name,
+        "battery_fingerprint": battery_fingerprint(
+            [(p, dict(d) if d else None, o) for p, d, o in tests]
+        ),
+        "catalog_count": len(catalog),
+        "catalog_digest": journal_digest(
+            f"{entry.name}:{entry.bugs!r}" for entry in catalog
+        ),
+        "kernel": kernel,
+        "timeout": timeout,
+    }
+
+
 @dataclass(frozen=True)
 class ResumeStats:
     """What a (possibly resumed) run did and did not re-simulate."""
@@ -156,12 +204,19 @@ def _write_outputs(
     files depend only on the verdicts -- not on worker count, not on
     how many times the run was killed and resumed, and not on any
     registry the caller (e.g. the CLI's ``--metrics`` flag) installed.
+
+    Each file lands via temp file + ``os.replace``
+    (:func:`~repro.runtime.journal.atomic_write_json`), so a crash
+    mid-write can never leave a torn report; metrics go first and the
+    report last, because the report's appearance is the commit marker
+    ``watch_snapshot`` (and anything tailing the run dir) keys on --
+    when it exists, everything else does too.
     """
     with scoped_registry() as registry:
         record_metrics()
         metrics = registry.deterministic_dump()
-    atomic_write_json(paths.report, report)
     atomic_write_json(paths.metrics, metrics)
+    atomic_write_json(paths.report, report)
 
 
 # --------------------------------------------------------------------
@@ -207,16 +262,7 @@ def run_campaign_resumable(
         all_single_faults(spec) if faults is None else list(faults)
     )
     test = tuple(inputs)
-    identity = {
-        "kind": "fsm",
-        "machine": spec.name,
-        "machine_fingerprint": machine_fingerprint(spec),
-        "test_fingerprint": inputs_fingerprint(test),
-        "fault_count": len(population),
-        "fault_digest": journal_digest(repr(f) for f in population),
-        "kernel": kernel,
-        "timeout": timeout,
-    }
+    identity = fsm_campaign_identity(spec, test, population, kernel, timeout)
     settings = {
         "jobs": jobs, "retries": retries, "slice_size": slice_size,
         "lanes": lanes,
@@ -377,19 +423,9 @@ def run_bug_campaign_resumable(
             f"('interp', 'compiled')"
         )
     catalog = list(catalog)
-    identity = {
-        "kind": "dlx",
-        "test_name": test_name,
-        "battery_fingerprint": battery_fingerprint(
-            [(p, dict(d) if d else None, o) for p, d, o in tests]
-        ),
-        "catalog_count": len(catalog),
-        "catalog_digest": journal_digest(
-            f"{entry.name}:{entry.bugs!r}" for entry in catalog
-        ),
-        "kernel": kernel,
-        "timeout": timeout,
-    }
+    identity = dlx_campaign_identity(
+        tests, catalog, test_name, kernel, timeout
+    )
     settings = {
         "jobs": jobs, "retries": retries, "slice_size": slice_size,
         "lanes": lanes,

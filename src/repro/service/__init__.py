@@ -1,0 +1,69 @@
+"""The fault-tolerant campaign service.
+
+Scales the paper's validation campaigns past one process *without
+weakening any guarantee the single-process runtime makes*: a
+chaos-harassed multi-worker service run produces the byte-identical
+report, metrics and deterministic event projection as an
+uninterrupted serial run -- the differential suite pins it.
+
+The pieces:
+
+* :mod:`repro.service.protocol` -- campaign specs, deterministic
+  resolution, shard simulation, journal-shaped verdict records.
+* :mod:`repro.service.coordinator` -- lease-based sharding with
+  heartbeats and expiry, slot-idempotent verdict absorption (what
+  makes at-least-once delivery safe), jittered-backoff retries,
+  quarantine-and-bisect for poisoned shards, bounded admission with
+  back-pressure, spool journaling, and the content-addressed
+  cross-run result store.
+* :mod:`repro.service.store` -- campaign results keyed by manifest
+  identity digest; crash-safe staged-directory publishes; identical
+  resubmissions answered with zero simulations.
+* :mod:`repro.service.server` / :mod:`repro.service.worker` /
+  :mod:`repro.service.client` -- the HTTP shim (``repro serve``), the
+  expendable worker loop (``repro shard-worker``), and the
+  back-pressure-aware client (``repro submit``).
+"""
+
+from .client import (
+    ServiceError,
+    campaign_view,
+    request_json,
+    submit_campaign,
+    wait_for_campaign,
+)
+from .coordinator import BackPressure, Coordinator, Shard
+from .protocol import (
+    DLX_TEST_NAME,
+    ResolvedCampaign,
+    SpecError,
+    assemble_result,
+    normalize_spec,
+    resolve_campaign,
+    simulate_shard,
+)
+from .server import ServiceServer
+from .store import ResultStore, store_key
+from .worker import ShardWorker
+
+__all__ = [
+    "DLX_TEST_NAME",
+    "BackPressure",
+    "Coordinator",
+    "ResolvedCampaign",
+    "ResultStore",
+    "ServiceError",
+    "ServiceServer",
+    "Shard",
+    "ShardWorker",
+    "SpecError",
+    "assemble_result",
+    "campaign_view",
+    "normalize_spec",
+    "request_json",
+    "resolve_campaign",
+    "simulate_shard",
+    "store_key",
+    "submit_campaign",
+    "wait_for_campaign",
+]

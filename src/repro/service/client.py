@@ -1,0 +1,140 @@
+"""A stdlib-only client for the campaign service.
+
+Used by ``repro submit``, the shard worker, and the tests; urllib
+only, no dependencies.  :func:`submit_campaign` honors back-pressure:
+a 429 is not an error but an instruction -- sleep ``Retry-After`` (or
+a jittered exponential backoff when the server gave no hint) and try
+again, up to a retry budget.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..parallel.backoff import BackoffPolicy
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error (or not at all)."""
+
+
+def request_json(
+    url: str,
+    payload: Optional[Dict[str, Any]] = None,
+    timeout: float = 10.0,
+) -> Tuple[int, Dict[str, Any]]:
+    """One JSON round-trip: POST when ``payload`` is given, else GET.
+
+    Returns ``(status, body)`` for *every* HTTP status -- error
+    classification is the caller's business; only transport failures
+    raise (:class:`OSError` / :class:`urllib.error.URLError`).
+    """
+    data = (
+        json.dumps(payload).encode("utf-8")
+        if payload is not None else None
+    )
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers=(
+            {"Content-Type": "application/json"} if data else {}
+        ),
+        method="POST" if data is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            body = reply.read()
+            status = reply.status
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        status = exc.code
+    try:
+        parsed = json.loads(body) if body else {}
+    except ValueError:
+        parsed = {"error": body.decode("utf-8", errors="replace")}
+    if not isinstance(parsed, dict):
+        parsed = {"value": parsed}
+    return status, parsed
+
+
+def submit_campaign(
+    base_url: str,
+    spec: Dict[str, Any],
+    *,
+    retries: int = 8,
+    timeout: float = 10.0,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Dict[str, Any]:
+    """Submit a spec, waiting out back-pressure; the campaign summary.
+
+    Raises :class:`ServiceError` after ``retries`` consecutive 429s or
+    on any other error status.
+    """
+    backoff = BackoffPolicy(base=0.25, max_delay=5.0)
+    base_url = base_url.rstrip("/")
+    attempt = 0
+    while True:
+        status, body = request_json(
+            base_url + "/api/campaigns", {"spec": spec},
+            timeout=timeout,
+        )
+        if status == 429:
+            attempt += 1
+            if attempt > retries:
+                raise ServiceError(
+                    f"queue still full after {retries} retries: "
+                    f"{body.get('error')}"
+                )
+            hint = body.get("retry_after")
+            sleep(
+                float(hint) if hint is not None
+                else backoff.delay(attempt, key="submit")
+            )
+            continue
+        if status >= 400:
+            raise ServiceError(
+                f"submit -> {status}: {body.get('error', body)}"
+            )
+        return body
+
+
+def campaign_view(
+    base_url: str, campaign: str, timeout: float = 10.0
+) -> Dict[str, Any]:
+    """The full view (report included once done) of one campaign."""
+    status, body = request_json(
+        f"{base_url.rstrip('/')}/api/campaigns/{campaign}",
+        timeout=timeout,
+    )
+    if status >= 400:
+        raise ServiceError(
+            f"campaign {campaign} -> {status}: "
+            f"{body.get('error', body)}"
+        )
+    return body
+
+
+def wait_for_campaign(
+    base_url: str,
+    campaign: str,
+    *,
+    poll: float = 0.2,
+    timeout: float = 120.0,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Dict[str, Any]:
+    """Poll until the campaign is done or failed; its final view."""
+    deadline = time.monotonic() + timeout
+    while True:
+        view = campaign_view(base_url, campaign)
+        if view.get("state") in ("done", "failed"):
+            return view
+        if time.monotonic() >= deadline:
+            raise ServiceError(
+                f"campaign {campaign} still "
+                f"{view.get('state')!r} after {timeout:.0f}s"
+            )
+        sleep(poll)

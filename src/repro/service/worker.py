@@ -1,0 +1,212 @@
+"""The shard worker (``repro shard-worker``): lease, simulate, report.
+
+A worker is deliberately stateless and expendable: it holds nothing
+the coordinator cannot reconstruct, so SIGKILL at any instant costs at
+most one lease timeout.  The loop:
+
+1. ``POST /api/lease`` -- get a shard (or a ``retry_after`` hint and
+   a jittered sleep; idle polling must not synchronize into a herd).
+2. Resolve the lease's spec locally (resolution is deterministic, so
+   every worker reconstructs the identical population) and simulate
+   the ``[lo, hi)`` slice with the serial sweep cores.
+3. Heartbeat on a daemon thread every third of the lease while
+   simulating.
+4. ``POST /api/shard-result`` with the journal-shaped records (or the
+   error string if simulation raised).
+
+Step 4 may land after the lease expired -- a *zombie* report.  That is
+fine by design: the coordinator absorbs records slot-idempotently, so
+a zombie either contributes verdicts nobody else produced yet or is
+deduplicated entirely.
+
+Chaos (:class:`~repro.runtime.chaos.ShardChaosPlan`) turns the worker
+into its own adversary for the differential suite: ``kill`` SIGKILLs
+the process right after taking a lease (the hard-crash case), ``hang``
+goes silent -- no heartbeats -- then reports late (the zombie case).
+Both fire only on a shard's first attempt, so a chaos-harassed
+campaign still converges deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from ..parallel.backoff import BackoffPolicy
+from ..runtime.chaos import ShardChaosPlan
+from .client import ServiceError, request_json
+from .protocol import ResolvedCampaign, resolve_campaign, simulate_shard
+
+
+class ShardWorker:
+    """One worker process's lease-simulate-report loop."""
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        worker_id: Optional[str] = None,
+        poll: float = 0.5,
+        max_shards: Optional[int] = None,
+        max_idle_seconds: Optional[float] = None,
+        chaos: Optional[ShardChaosPlan] = None,
+        request_timeout: float = 10.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.worker_id = worker_id or (
+            f"{socket.gethostname()}-{os.getpid()}"
+        )
+        self.poll = max(0.05, float(poll))
+        self.max_shards = max_shards
+        self.max_idle_seconds = max_idle_seconds
+        self.chaos = chaos
+        self.request_timeout = request_timeout
+        # Jitter source for idle sleeps; the *seed* is the worker id
+        # hash so a fleet of workers never polls in lockstep.
+        self._jitter = BackoffPolicy(
+            base=self.poll, max_delay=self.poll, jitter=0.5,
+            seed=sum(self.worker_id.encode("utf-8")),
+        )
+        self._polls = 0
+        self.shards_done = 0
+        #: Campaign key -> resolved campaign; resolution (tour/suite
+        #: generation, expected streams) is paid once per campaign.
+        self._resolved: Dict[str, ResolvedCampaign] = {}
+
+    # -- HTTP --------------------------------------------------------
+
+    def _post(self, route: str, payload: Dict[str, Any]) -> Any:
+        status, body = request_json(
+            self.base_url + route, payload,
+            timeout=self.request_timeout,
+        )
+        if status >= 400:
+            raise ServiceError(
+                f"POST {route} -> {status}: "
+                f"{(body or {}).get('error', body)}"
+            )
+        return body
+
+    # -- the loop ----------------------------------------------------
+
+    def run(self) -> int:
+        """Loop until ``max_shards`` shards are done or the service
+        stays idle/unreachable past ``max_idle_seconds``; 0 on clean
+        exit."""
+        idle_since: Optional[float] = None
+        while True:
+            if (
+                self.max_shards is not None
+                and self.shards_done >= self.max_shards
+            ):
+                return 0
+            try:
+                lease = self._post(
+                    "/api/lease", {"worker": self.worker_id}
+                )
+            except (ServiceError, OSError):
+                lease = {"lease": None}
+            if lease.get("lease") is None:
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                if (
+                    self.max_idle_seconds is not None
+                    and now - idle_since >= self.max_idle_seconds
+                ):
+                    return 0
+                self._polls += 1
+                hint = lease.get("retry_after")
+                wait = min(
+                    self.poll,
+                    float(hint) if hint is not None else self.poll,
+                )
+                # De-synchronize the fleet: shave up to half the wait.
+                time.sleep(
+                    wait * (1 - 0.5 * self._jitter.fraction(
+                        "idle", self._polls
+                    ))
+                )
+                continue
+            idle_since = None
+            self._process(lease)
+            self.shards_done += 1
+
+    def _process(self, lease: Dict[str, Any]) -> None:
+        campaign = lease["campaign"]
+        mode = None
+        if self.chaos is not None:
+            mode = self.chaos.mode_for(
+                campaign, lease["shard"], lease["attempt"]
+            )
+        if mode == "kill":
+            # The hard-crash case: die holding the lease, verdicts
+            # unreported.  The coordinator's expiry must recover.
+            os.kill(os.getpid(), signal.SIGKILL)
+        resolved = self._resolved.get(campaign)
+        if resolved is None:
+            resolved = resolve_campaign(lease["spec"])
+            self._resolved[campaign] = resolved
+        stop = threading.Event()
+        if mode != "hang":
+            heartbeats = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(lease, stop),
+                name="repro-shard-heartbeat",
+                daemon=True,
+            )
+            heartbeats.start()
+        records: Any = None
+        error: Optional[str] = None
+        try:
+            records = simulate_shard(
+                resolved,
+                lease["lo"],
+                lease["hi"],
+                kernel=lease.get("kernel"),
+                mark_degraded=bool(lease.get("fallback")),
+            )
+        except Exception as exc:  # noqa: BLE001 - reported, not fatal
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            stop.set()
+        if mode == "hang":
+            # The zombie case: stay silent until the lease is dead,
+            # then report anyway.  The coordinator must deduplicate.
+            time.sleep(self.chaos.hang_seconds)
+        try:
+            self._post("/api/shard-result", {
+                "lease": lease["lease"],
+                "campaign": campaign,
+                "shard": lease["shard"],
+                "worker": self.worker_id,
+                "records": records,
+                "error": error,
+            })
+        except (ServiceError, OSError):
+            # The lease will expire and the shard will be re-run; an
+            # unreportable result is indistinguishable from a crash.
+            pass
+
+    def _heartbeat_loop(
+        self, lease: Dict[str, Any], stop: threading.Event
+    ) -> None:
+        interval = max(
+            0.05, float(lease["lease_seconds"]) / 3.0
+        )
+        while not stop.wait(interval):
+            try:
+                reply = self._post(
+                    "/api/heartbeat", {"lease": lease["lease"]}
+                )
+            except (ServiceError, OSError):
+                return
+            if not reply.get("ok"):
+                # Lease already expired under us: keep simulating --
+                # the late report may still fill slots first -- but
+                # stop renewing what no longer exists.
+                return

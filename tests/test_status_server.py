@@ -6,6 +6,8 @@ error codes) is exercised exactly as ``curl`` would in CI.
 """
 
 import json
+import socket
+import time
 import urllib.error
 import urllib.request
 
@@ -17,6 +19,9 @@ from repro.obs.events import Event, RingBufferSink, scoped_bus
 from repro.obs.progress import ProgressModel
 from repro.obs.prom import parse_prometheus, render_prometheus
 from repro.obs.server import (
+    MAX_EVENTS_PER_RESPONSE,
+    MAX_RESPONSE_BYTES,
+    SOCKET_TIMEOUT,
     StatusServer,
     model_status_provider,
     ring_events_provider,
@@ -102,6 +107,86 @@ class TestEndpoints:
             with pytest.raises(urllib.error.HTTPError) as exc:
                 _get(srv.url + "/status")
             assert exc.value.code == 500
+        finally:
+            srv.stop()
+
+
+class TestHardening:
+    """The robustness satellite: per-connection socket timeouts,
+    bounded responses, and paged ``/events``."""
+
+    def test_handler_carries_socket_timeout(self, server):
+        handler = server._httpd.RequestHandlerClass
+        assert handler.timeout == SOCKET_TIMEOUT
+        assert SOCKET_TIMEOUT > 0
+
+    def test_stalled_client_cannot_wedge_the_server(self):
+        """A half-open connection times out and is closed; other
+        requests keep being served the whole time."""
+        srv = StatusServer(status_provider=lambda: {"ok": True})
+        srv._httpd.RequestHandlerClass.timeout = 0.2
+        srv.start()
+        try:
+            stalled = socket.create_connection(
+                (srv.host, srv.port), timeout=5
+            )
+            stalled.sendall(b"GET /status HTTP/1.1\r\n")  # never ends
+            # The stalled handler must not block a healthy client.
+            status, _ctype, _body = _get(srv.url + "/status")
+            assert status == 200
+            # And the stalled connection gets hung up on, not parked.
+            stalled.settimeout(5)
+            deadline = time.monotonic() + 5
+            closed = b"x"
+            while closed != b"" and time.monotonic() < deadline:
+                try:
+                    closed = stalled.recv(4096)
+                except TimeoutError:
+                    break
+            assert closed == b""
+            stalled.close()
+        finally:
+            srv.stop()
+
+    def test_events_are_paged_oldest_first(self):
+        ring = RingBufferSink(capacity=4096)
+        for seq in range(1, 2501):
+            ring(Event(seq, "fault.verdict", {"i": seq}))
+        srv = StatusServer(
+            status_provider=lambda: {},
+            events_provider=ring_events_provider(ring),
+        ).start()
+        try:
+            # One page is capped...
+            _s, _c, body = _get(srv.url + "/events?since=0")
+            page = json.loads(body)["events"]
+            assert len(page) == MAX_EVENTS_PER_RESPONSE
+            assert page[0]["seq"] == 1  # oldest first: nothing skipped
+            # ...and paging by the last seq recovers every event.
+            seen = []
+            since = 0
+            while True:
+                _s, _c, body = _get(
+                    srv.url + f"/events?since={since}"
+                )
+                page = json.loads(body)["events"]
+                if not page:
+                    break
+                seen.extend(e["seq"] for e in page)
+                since = page[-1]["seq"]
+            assert seen == list(range(1, 2501))
+        finally:
+            srv.stop()
+
+    def test_runaway_response_refused(self):
+        huge = {"blob": "x" * (MAX_RESPONSE_BYTES + 1)}
+        srv = StatusServer(status_provider=lambda: huge).start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                _get(srv.url + "/status")
+            assert exc.value.code == 500
+            body = json.loads(exc.value.read())
+            assert "exceeds" in body["error"]
         finally:
             srv.stop()
 
