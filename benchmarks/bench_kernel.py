@@ -245,3 +245,119 @@ def test_compiled_kernel_speedup(benchmark):
     assert wide_geomean >= MIN_WIDE_GEOMEAN, (
         f"wide lanes only {wide_geomean:.1f}x geomean over 63 lanes"
     )
+
+
+#: Copies of each protocol controller in the farm (4 protocols x
+#: FARM_COPIES blocks); more blocks = sparser per-phase activity.
+FARM_COPIES = 8
+FARM_POPULATION = 1023
+MIN_SPARSE_SPEEDUP = 1.3
+
+
+def test_dirty_vs_dense_activity_sparse(benchmark):
+    """Activity-sparse workload where the dirty-set mode wins.
+
+    The DLX sweep above drives every net every cycle, so there the
+    dense pass is the baseline to beat and dirty-set machinery is pure
+    overhead.  This benchmark builds the opposite shape -- the one the
+    event-driven mode exists for: a "protocol farm" of independent
+    controller blocks (the corpus protocol models, replicated) tested
+    phase by phase with W/Wp-shaped reset-separated sequences.  During
+    any phase one block toggles and the rest idle in self-loops, so
+    once a block's mutants are detected or quiescent the dirty pass
+    skips whole cycles the dense pass must still simulate.
+    """
+    from repro.corpus.protocols import PROTOCOL_MODELS
+    from repro.corpus.synth import (
+        machine_to_netlist,
+        merge_netlists,
+        suite_vectors,
+    )
+    from repro.tour import FaultDomain, generate_suite
+
+    blocks = []  # (prefix, synthesized block, wp sequences)
+    for name, build in sorted(PROTOCOL_MODELS.items()):
+        machine = build()
+        synth = machine_to_netlist(machine, reset_input="rst")
+        suite = generate_suite(
+            machine, "wp", FaultDomain(extra_states=0)
+        )
+        for copy in range(FARM_COPIES):
+            prefix = f"{name.replace('-', '_')}_{copy}_"
+            blocks.append((prefix, synth, suite.sequences))
+    farm = merge_netlists(
+        [(prefix, s.netlist) for prefix, s, _ in blocks],
+        name="protocol-farm",
+    )
+
+    # Phase-by-phase vectors: each block's flattened Wp suite drives
+    # that block's inputs; every other block sees all-zero inputs and
+    # sits in its initial-state self-loop.
+    idle = {name: False for name in farm.inputs}
+    vectors = []
+    for prefix, synth, sequences in blocks:
+        for vec in suite_vectors(synth, sequences):
+            merged_vec = dict(idle)
+            for bit, value in vec.items():
+                merged_vec[prefix + bit] = value
+            vectors.append(merged_vec)
+
+    distinct = all_stuck_at_faults(farm)
+    population = (
+        distinct * (FARM_POPULATION // len(distinct) + 1)
+    )[:FARM_POPULATION]
+    dirty_got, t_dirty = benchmark.pedantic(
+        lambda: _timed(
+            lambda: stuck_at_first_divergences(
+                farm, vectors, population, lanes=1024, dirty=True
+            )
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    dense_got, t_dense = _timed(
+        lambda: stuck_at_first_divergences(
+            farm, vectors, population, lanes=1024, dirty=False
+        )
+    )
+    identical = dirty_got == dense_got
+    speedup = t_dense / t_dirty if t_dirty else float("inf")
+
+    emit(
+        "SPARSE: dirty-set vs dense on a phased protocol farm",
+        [
+            f"farm: {len(blocks)} blocks ({FARM_COPIES} copies x "
+            f"{len(PROTOCOL_MODELS)} protocols), "
+            f"{farm.latch_count()} latches, {farm.input_count()} inputs",
+            f"workload: {len(vectors)} Wp-shaped vectors, "
+            f"{len(population)} stuck-at faults at 1024 lanes",
+            f"  dense: {t_dense:8.3f}s",
+            f"  dirty: {t_dirty:8.3f}s   speedup {speedup:5.2f}x"
+            f"   identical: {identical}",
+        ],
+        name="kernel_sparse",
+        data={
+            "sparse_dense_seconds": t_dense,
+            "sparse_dirty_seconds": t_dirty,
+            "sparse_speedup": speedup,
+            "sparse_identical": identical,
+        },
+        meta={
+            "blocks": len(blocks),
+            "farm_latches": farm.latch_count(),
+            "vectors": len(vectors),
+            "population": len(population),
+            "lanes": 1024,
+            "report_only": REPORT_ONLY,
+        },
+    )
+    # Identity first, always: event-driven skipping must be invisible
+    # in the verdicts.
+    assert identical
+    if REPORT_ONLY:
+        return
+    # The whole point of the dirty-set mode: on phase-sparse suites it
+    # must actually beat the dense pass.
+    assert speedup >= MIN_SPARSE_SPEEDUP, (
+        f"dirty-set only {speedup:.2f}x over dense on the sparse farm"
+    )

@@ -11,6 +11,7 @@
     python -m repro report METRICS.json   # render a saved metrics file
     python -m repro watch RUN_DIR         # follow a journaled run
     python -m repro bench-report [DIR]    # bench trajectory + gate
+    python -m repro bench-suite DIR       # corpus-wide campaign sweep
 
 Each subcommand prints a self-contained report; exit status is
 non-zero when a validation fails or a campaign leaves coverage
@@ -45,6 +46,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import sys
 from typing import Iterator, List, Optional
 
@@ -526,6 +528,100 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return _campaign_exit(result.coverage == 1.0, result.degraded)
 
 
+def cmd_bench_suite(args: argparse.Namespace) -> int:
+    """Sweep a whole benchmark corpus through the campaign engine.
+
+    The stdout table is deterministic -- byte-identical at any
+    ``--jobs``/``--kernel``/``--lanes`` and whether or not ``--store``
+    answered from cache; wall-clock and store facts go to stderr, the
+    JSON ``timing`` section, and the bench history file.
+    """
+    if args.resume and not args.run_root:
+        print("--resume requires --run-root", file=sys.stderr)
+        return 2
+    try:
+        args.lanes = _parse_lanes(args.lanes)
+    except ValueError as exc:
+        print(f"bad --lanes value: {exc}", file=sys.stderr)
+        return 2
+    from .corpus import CorpusError, load_corpus
+    from .corpus.suite import run_bench_suite
+    from .runtime import RunDirError
+
+    store = None
+    if args.store:
+        from .service.store import ResultStore
+
+        store = ResultStore(args.store)
+    with _observability(args):
+        try:
+            entries = load_corpus(args.corpus, max_states=args.max_states)
+        except CorpusError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        try:
+            report = run_bench_suite(
+                entries,
+                corpus=os.path.basename(os.path.normpath(args.corpus)),
+                suite=args.suite,
+                method=args.method,
+                extra_states=args.extra_states,
+                jobs=args.jobs,
+                timeout=args.timeout,
+                retries=args.retries,
+                kernel=args.kernel,
+                lanes=args.lanes,
+                store=store,
+                run_root=args.run_root,
+                resume=args.resume,
+            )
+        except RunDirError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(report.to_json_dict(), indent=2,
+                             sort_keys=True))
+        else:
+            print(report.render_table(), end="")
+        print(
+            f"bench-suite: {report.executed} simulations executed, "
+            f"{report.cached_circuits}/{len(report.rows)} circuits "
+            f"answered by the store, {report.seconds:.2f}s",
+            file=sys.stderr,
+        )
+    if not args.no_bench:
+        from .obs.bench import record_bench
+
+        agg = report.aggregate()
+        record_bench(
+            "bench_suite",
+            f"BENCH-SUITE: {report.corpus} ({report.suite})",
+            data={
+                "total_seconds": round(report.seconds, 6),
+                "circuits": agg["circuits"],
+                "faults": agg["faults"],
+                "detected": agg["detected"],
+                "coverage": agg["coverage"],
+                "executed": report.executed,
+            },
+            meta={
+                "corpus": report.corpus,
+                "suite": report.suite,
+                "jobs": args.jobs,
+                "kernel": args.kernel,
+                "lanes": args.lanes,
+                "cached_circuits": report.cached_circuits,
+            },
+        )
+    if report.errors:
+        return 1
+    # A tour sweep is a survey: escapes are the data (Figure 2's
+    # point), not a failure.  W/Wp/HSI promise completeness, so any
+    # gap there is a real defect in suite or engine.
+    complete = args.suite == "tour" or report.coverage == 1.0
+    return _campaign_exit(complete, report.degraded)
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .obs import render_metrics_file
 
@@ -991,6 +1087,113 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(camp)
     camp.set_defaults(func=cmd_campaign)
+
+    suite = sub.add_parser(
+        "bench-suite",
+        help="run tour or W/Wp/HSI campaigns across a whole BLIF/KISS "
+        "benchmark corpus (per-circuit + aggregate coverage table)",
+    )
+    suite.add_argument(
+        "corpus",
+        help="corpus directory (scanned for *.kiss/*.kiss2/*.blif, "
+        "honouring a manifest.json when present) or the path of a "
+        "manifest file",
+    )
+    suite.add_argument(
+        "--suite",
+        choices=("tour",) + SUITE_METHODS,
+        default="tour",
+        help="campaign per circuit: 'tour' surveys transition-tour "
+        "error coverage (escapes are data, not failures), 'w'/'wp'/"
+        "'hsi' run the complete suites (any coverage gap fails)",
+    )
+    suite.add_argument(
+        "--method", choices=("cpp", "greedy"), default="cpp",
+        help="tour construction for --suite tour",
+    )
+    suite.add_argument(
+        "--extra-states",
+        type=int,
+        default=0,
+        metavar="K",
+        help="widen the fault domain to m = n + K implementation "
+        "states for --suite w/wp/hsi",
+    )
+    suite.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per circuit campaign (the table is "
+        "byte-identical at any count)",
+    )
+    suite.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-fault wall-clock timeout in seconds",
+    )
+    suite.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="per-task retry budget before quarantine",
+    )
+    suite.add_argument(
+        "--kernel",
+        choices=("interp", "compiled"),
+        default="compiled",
+        help="simulation kernel (verdicts are byte-identical; the "
+        "kernel is part of the store identity)",
+    )
+    suite.add_argument(
+        "--lanes",
+        default="auto",
+        metavar="N",
+        help="total simulation lanes per word-parallel pass "
+        "('auto' picks the kernel default)",
+    )
+    suite.add_argument(
+        "--max-states",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="reachable-state budget when extracting FSMs from BLIF "
+        "netlists; a circuit past the budget becomes an error row",
+    )
+    suite.add_argument(
+        "--store",
+        metavar="DIR",
+        help="content-addressed result store: campaigns already "
+        "answered for an identical (machine, test, population, "
+        "kernel, timeout) identity are served from DIR with zero "
+        "simulations, fresh results are published into it",
+    )
+    suite.add_argument(
+        "--run-root",
+        metavar="DIR",
+        help="give every circuit its own journaled run directory "
+        "DIR/<circuit> (resumable with --resume)",
+    )
+    suite.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted --run-root sweep: finished "
+        "circuits replay from their journals, only missing verdicts "
+        "are re-simulated",
+    )
+    suite.add_argument(
+        "--json",
+        action="store_true",
+        help="print the whole report as one JSON object (rows + "
+        "aggregate are deterministic; timing is segregated)",
+    )
+    suite.add_argument(
+        "--no-bench",
+        action="store_true",
+        help="skip appending this run to BENCH_bench_suite.json",
+    )
+    _add_obs_flags(suite)
+    suite.set_defaults(func=cmd_bench_suite)
 
     sub.add_parser(
         "catalog", help="list the design-error catalog"

@@ -1,0 +1,54 @@
+"""Benchmark-corpus subsystem: circuit ingestion, protocol models,
+machine synthesis, and the suite-wide campaign runner.
+
+``loader`` scans BLIF/KISS directories into classified, campaign-ready
+entries; ``protocols`` contributes the I2C/MESI/TCP generator models;
+``synth`` closes the loop by lowering any Mealy machine back to a
+netlist; ``suite`` sweeps a whole corpus through the campaign engine
+(``repro bench-suite``).  The suite runner is imported lazily so the
+light pieces (loader, protocols) do not pull in the runtime stack.
+"""
+
+from .loader import (
+    CorpusEntry,
+    CorpusError,
+    classify_file,
+    load_corpus,
+)
+from .protocols import (
+    PROTOCOL_MODELS,
+    i2c_master,
+    i2c_slave,
+    mesi_cache,
+    tcp_handshake,
+)
+from .synth import SynthesizedMachine, machine_to_netlist, suite_vectors
+
+__all__ = [
+    "BENCH_SUITES",
+    "BenchSuiteReport",
+    "CircuitRow",
+    "CorpusEntry",
+    "CorpusError",
+    "PROTOCOL_MODELS",
+    "SynthesizedMachine",
+    "classify_file",
+    "i2c_master",
+    "i2c_slave",
+    "load_corpus",
+    "machine_to_netlist",
+    "mesi_cache",
+    "run_bench_suite",
+    "suite_vectors",
+    "tcp_handshake",
+]
+
+_LAZY = ("BENCH_SUITES", "BenchSuiteReport", "CircuitRow", "run_bench_suite")
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from . import suite
+
+        return getattr(suite, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,267 @@
+"""Benchmark-corpus ingestion: BLIF/KISS directories -> classified FSMs.
+
+The LGSynth91/MCNC/ISCAS'89-era corpora ship as flat directories of
+``.kiss``/``.kiss2`` FSM tables and ``.blif`` netlists.  This module
+turns such a directory (or an explicit ``manifest.json``) into a list
+of :class:`CorpusEntry` records: each file parsed, classified
+(FSM table vs. sequential netlist vs. combinational netlist), sized
+(states, alphabet, latches), and -- for everything sequential --
+lowered to a :class:`~repro.core.mealy.MealyMachine` ready for the
+campaign engine.
+
+Ingestion is *total*: a malformed or oversized circuit becomes an
+entry with ``error`` set instead of aborting the scan, so one rotten
+file never hides the rest of a corpus (``strict=True`` restores the
+fail-fast behaviour for tests).  Entry order is deterministic --
+manifest order when a manifest drives the scan, sorted filename order
+otherwise -- which is what makes whole-suite reports byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.kiss import load_kiss
+from ..core.mealy import MealyMachine
+from ..core.parse import ParseError
+from ..obs.events import emit_event
+from ..rtl.blif import load_blif
+from ..rtl.extract import ExtractionError, extract_mealy
+from ..rtl.netlist import Netlist, NetlistError
+
+#: File extensions the directory scan picks up, by format.
+KISS_SUFFIXES = (".kiss", ".kiss2")
+BLIF_SUFFIXES = (".blif",)
+
+#: Classification labels (the ``kind`` column of the suite table).
+KIND_FSM = "fsm"                    # a KISS state table
+KIND_SEQ = "netlist"                # a BLIF netlist with latches
+KIND_COMB = "comb"                  # a BLIF netlist without latches
+
+#: Default reachable-state budget for explicit FSM extraction; a
+#: netlist that blows past it is recorded as an error entry (the
+#: symbolic engine, not the campaign engine, is the tool for those).
+DEFAULT_MAX_STATES = 4096
+
+MANIFEST_NAME = "manifest.json"
+
+
+class CorpusError(ValueError):
+    """A corpus directory or manifest that cannot be scanned at all."""
+
+
+@dataclass
+class CorpusEntry:
+    """One classified circuit of a benchmark corpus.
+
+    ``machine`` is populated for every entry that can feed a campaign
+    (KISS FSMs and extracted sequential netlists); ``error`` explains
+    every entry that cannot (parse failures, extraction blow-ups,
+    combinational circuits, machines without tours).
+    """
+
+    name: str
+    path: str
+    fmt: str                              # "kiss" | "blif"
+    kind: str = "?"                       # KIND_* label
+    machine: Optional[MealyMachine] = None
+    netlist: Optional[Netlist] = None
+    error: Optional[str] = None
+    #: Size facts for the report table (states/inputs/outputs are the
+    #: FSM view; latches/pis/pos the structural view when known).
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def runnable(self) -> bool:
+        """True when the entry carries a machine a campaign can use."""
+        return self.machine is not None and self.error is None
+
+    def describe(self) -> str:
+        if self.error is not None:
+            return f"{self.name}: {self.error}"
+        facts = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.stats.items())
+        )
+        return f"{self.name} [{self.kind}] {facts}"
+
+
+def _classify_kiss(entry: CorpusEntry) -> None:
+    machine = load_kiss(entry.path, name=entry.name)
+    entry.kind = KIND_FSM
+    entry.machine = machine
+    entry.stats = {
+        "states": len(machine),
+        "inputs": len(machine.inputs),
+        "outputs": len(machine.outputs),
+        "transitions": machine.num_transitions(),
+    }
+
+
+def _classify_blif(entry: CorpusEntry, max_states: int) -> None:
+    netlist = load_blif(entry.path, name=entry.name)
+    entry.netlist = netlist
+    entry.stats = {
+        "latches": netlist.latch_count(),
+        "pis": netlist.input_count(),
+        "pos": netlist.output_count(),
+    }
+    if netlist.latch_count() == 0:
+        entry.kind = KIND_COMB
+        entry.error = "combinational netlist (no latches): no FSM to tour"
+        return
+    entry.kind = KIND_SEQ
+    machine = extract_mealy(
+        netlist, max_states=max_states, name=entry.name
+    )
+    entry.machine = machine
+    entry.stats.update(
+        states=len(machine),
+        inputs=len(machine.inputs),
+        outputs=len(machine.outputs),
+        transitions=machine.num_transitions(),
+    )
+
+
+def classify_file(
+    path: str,
+    name: Optional[str] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> CorpusEntry:
+    """Parse and classify one corpus file (never raises on content
+    errors -- they land in ``entry.error``; an unknown extension is a
+    :class:`CorpusError` because it means the scan itself is wrong)."""
+    base = os.path.basename(path)
+    stem = os.path.splitext(base)[0]
+    lower = base.lower()
+    if lower.endswith(KISS_SUFFIXES):
+        fmt = "kiss"
+    elif lower.endswith(BLIF_SUFFIXES):
+        fmt = "blif"
+    else:
+        raise CorpusError(
+            f"{path}: unknown circuit format (expected one of "
+            f"{KISS_SUFFIXES + BLIF_SUFFIXES})"
+        )
+    entry = CorpusEntry(name=name or stem, path=path, fmt=fmt)
+    try:
+        if fmt == "kiss":
+            _classify_kiss(entry)
+        else:
+            _classify_blif(entry, max_states)
+    except (ParseError, NetlistError) as exc:
+        entry.kind = "bad"
+        entry.error = f"parse error: {exc}"
+    except ExtractionError as exc:
+        entry.error = f"extraction aborted: {exc}"
+    except OSError as exc:
+        entry.kind = "bad"
+        entry.error = f"unreadable: {exc}"
+    if entry.runnable:
+        machine = entry.machine
+        if not machine.is_strongly_connected():
+            entry.error = (
+                "not strongly connected: no transition tour exists"
+            )
+    return entry
+
+
+def _manifest_entries(manifest_path: str) -> List[Dict[str, str]]:
+    """The circuit list of a ``manifest.json``.
+
+    Shape: ``{"circuits": [{"file": "lion.kiss", "name": "lion"},
+    ...]}`` -- ``file`` is relative to the manifest's directory,
+    ``name`` is optional.
+    """
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CorpusError(f"{manifest_path}: unreadable manifest: {exc}")
+    circuits = doc.get("circuits") if isinstance(doc, dict) else None
+    if not isinstance(circuits, list) or not circuits:
+        raise CorpusError(
+            f"{manifest_path}: manifest needs a non-empty 'circuits' list"
+        )
+    rows: List[Dict[str, str]] = []
+    for idx, row in enumerate(circuits):
+        if not isinstance(row, dict) or not isinstance(
+            row.get("file"), str
+        ):
+            raise CorpusError(
+                f"{manifest_path}: circuits[{idx}] needs a 'file' string"
+            )
+        rows.append(row)
+    return rows
+
+
+def load_corpus(
+    path: str,
+    max_states: int = DEFAULT_MAX_STATES,
+    strict: bool = False,
+) -> List[CorpusEntry]:
+    """Scan a corpus directory (or an explicit manifest file).
+
+    ``path`` may be a directory -- scanned for ``*.kiss``/``*.kiss2``/
+    ``*.blif`` in sorted order, honouring a ``manifest.json`` when one
+    is present -- or the path of a manifest file itself.  With
+    ``strict`` set, the first entry-level error is re-raised as a
+    :class:`CorpusError` instead of being recorded.
+    """
+    if os.path.isfile(path):
+        manifest = path
+        root = os.path.dirname(path) or "."
+        specs = [
+            (os.path.join(root, row["file"]), row.get("name"), row)
+            for row in _manifest_entries(manifest)
+        ]
+    elif os.path.isdir(path):
+        manifest = os.path.join(path, MANIFEST_NAME)
+        if os.path.isfile(manifest):
+            specs = [
+                (os.path.join(path, row["file"]), row.get("name"), row)
+                for row in _manifest_entries(manifest)
+            ]
+        else:
+            names = sorted(
+                n for n in os.listdir(path)
+                if n.lower().endswith(KISS_SUFFIXES + BLIF_SUFFIXES)
+            )
+            if not names:
+                raise CorpusError(
+                    f"{path}: no {KISS_SUFFIXES + BLIF_SUFFIXES} "
+                    f"circuits (and no {MANIFEST_NAME})"
+                )
+            specs = [(os.path.join(path, n), None, {}) for n in names]
+    else:
+        raise CorpusError(f"{path}: no such corpus directory or manifest")
+    entries: List[CorpusEntry] = []
+    for file_path, name, row in specs:
+        budget = row.get("max_states", max_states)
+        if not isinstance(budget, int) or budget < 1:
+            raise CorpusError(
+                f"{file_path}: manifest max_states must be a positive "
+                f"integer, got {budget!r}"
+            )
+        entry = classify_file(file_path, name=name, max_states=budget)
+        if strict and entry.error is not None:
+            raise CorpusError(entry.describe())
+        entries.append(entry)
+    seen: Dict[str, str] = {}
+    for entry in entries:
+        if entry.name in seen:
+            raise CorpusError(
+                f"duplicate circuit name {entry.name!r} "
+                f"({seen[entry.name]} vs {entry.path}); rename one in "
+                f"the manifest"
+            )
+        seen[entry.name] = entry.path
+    emit_event(
+        "corpus.loaded",
+        corpus=os.path.basename(os.path.normpath(path)),
+        circuits=len(entries),
+        runnable=sum(1 for e in entries if e.runnable),
+    )
+    return entries

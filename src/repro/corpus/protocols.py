@@ -1,0 +1,214 @@
+"""Protocol-class generator models: I2C, MESI, TCP handshake.
+
+The seed zoo (:mod:`repro.models`) is dominated by textbook counters
+and one protocol sender; the corpus frontier needs machines whose
+shapes look like the controller designs the paper's methodology was
+aimed at.  These generators add three protocol families with
+genuinely different structure:
+
+* **I2C** -- a bus master and a bus slave.  Deep "session" structure
+  (start, address, ack, data, stop) with abort edges from every phase
+  back to idle: long tours, short distinguishing sequences.
+* **MESI** -- the classic four-state cache-coherence controller.
+  Dense and symmetric: every input is meaningful in every state, and
+  the states differ only through one- or two-step output probes.
+* **TCP-style three-way handshake** -- an endpoint automaton covering
+  active/passive open, simultaneous open, and both close directions.
+  The most asymmetric of the three: reset (``rst``) gives every state
+  a shortcut home while the handshake itself is a narrow path.
+
+Every machine here is deterministic, input-complete, minimal and
+strongly connected -- the preconditions the tour generators and the
+W/Wp/HSI constructions need -- and the test suite pins all four
+properties plus a KISS round-trip differential for each model.
+"""
+
+from __future__ import annotations
+
+from ..core.mealy import MealyMachine
+
+#: The I2C input alphabet shared by the master and the slave: bus
+#: conditions (start/stop), data bits on SDA, and the ack slot.
+_I2C_MASTER_INPUTS = ("start", "bit0", "bit1", "ack", "nak", "stop")
+
+
+def i2c_master() -> MealyMachine:
+    """An I2C bus master: start, two address bits, ack-gated data.
+
+    The address phase is shortened to two bits so the machine stays
+    small while keeping the protocol's signature shape: a start
+    condition, an address shift-in, an ack slot that decides between
+    the data phase and an abort, then ack-gated data bytes (one bit
+    per "byte" at this scale).  ``start`` in any phase is a repeated
+    start; ``stop`` from any phase releases the bus.
+    """
+    m = MealyMachine("idle", name="i2c-master")
+
+    def loop(state: str, inputs: tuple, out: str) -> None:
+        for inp in inputs:
+            m.add_transition(state, inp, out, state)
+
+    # idle: only a start condition does anything.
+    m.add_transition("idle", "start", "sda_fall", "addr1")
+    loop("idle", ("bit0", "bit1", "ack", "nak", "stop"), "released")
+    # addr1/addr0: shifting the two address bits onto SDA.
+    for src, dst in (("addr1", "addr0"), ("addr0", "ack_addr")):
+        m.add_transition(src, "bit0", "sda=0", dst)
+        m.add_transition(src, "bit1", "sda=1", dst)
+        m.add_transition(src, "start", "restart", "addr1")
+        m.add_transition(src, "stop", "sda_rise", "idle")
+        loop(src, ("ack", "nak"), "shifting")
+    # ack_addr: the slave's address-ack slot.
+    m.add_transition("ack_addr", "ack", "addr_acked", "data")
+    m.add_transition("ack_addr", "nak", "abort", "idle")
+    m.add_transition("ack_addr", "start", "restart", "addr1")
+    m.add_transition("ack_addr", "stop", "sda_rise", "idle")
+    loop("ack_addr", ("bit0", "bit1"), "ack_wait")
+    # data: one data bit per transfer, then the data-ack slot.
+    m.add_transition("data", "bit0", "sda=0", "ack_data")
+    m.add_transition("data", "bit1", "sda=1", "ack_data")
+    m.add_transition("data", "start", "restart", "addr1")
+    m.add_transition("data", "stop", "sda_rise", "idle")
+    loop("data", ("ack", "nak"), "data_hold")
+    # ack_data: the slave's data-ack slot; ack continues the burst.
+    m.add_transition("ack_data", "ack", "data_acked", "data")
+    m.add_transition("ack_data", "nak", "abort", "idle")
+    m.add_transition("ack_data", "start", "restart", "addr1")
+    m.add_transition("ack_data", "stop", "sda_rise", "idle")
+    loop("ack_data", ("bit0", "bit1"), "ack_wait")
+    return m
+
+
+def i2c_slave() -> MealyMachine:
+    """An I2C bus slave: address match decides ack or back-off.
+
+    After a start condition the slave shifts the address in and either
+    claims the transfer (``addr_hit`` -> drive ACK, sample data bits)
+    or goes silent until the next start/stop (``addr_miss``).
+    """
+    m = MealyMachine("idle", name="i2c-slave")
+    alphabet = ("start", "addr_hit", "addr_miss", "bit0", "bit1", "stop")
+
+    def loop(state: str, inputs: tuple, out: str) -> None:
+        for inp in inputs:
+            m.add_transition(state, inp, out, state)
+
+    m.add_transition("idle", "start", "listening", "listen")
+    loop("idle", tuple(i for i in alphabet if i != "start"), "released")
+    # listen: the address is on the wire; hit or miss decides.
+    m.add_transition("listen", "addr_hit", "drive_ack", "active")
+    m.add_transition("listen", "addr_miss", "silent", "backoff")
+    m.add_transition("listen", "start", "listening", "listen")
+    m.add_transition("listen", "stop", "released", "idle")
+    loop("listen", ("bit0", "bit1"), "shift_addr")
+    # backoff: not our transfer; wait for the bus to free up.
+    m.add_transition("backoff", "start", "listening", "listen")
+    m.add_transition("backoff", "stop", "released", "idle")
+    loop("backoff", ("addr_hit", "addr_miss", "bit0", "bit1"), "ignored")
+    # active: addressed; sample data bits and ack each one.
+    m.add_transition("active", "bit0", "sampled=0", "active")
+    m.add_transition("active", "bit1", "sampled=1", "active")
+    m.add_transition("active", "start", "listening", "listen")
+    m.add_transition("active", "stop", "released", "idle")
+    loop("active", ("addr_hit", "addr_miss"), "addressed")
+    return m
+
+
+def mesi_cache() -> MealyMachine:
+    """The MESI cache-coherence controller for one cache line.
+
+    Inputs are processor-side reads/writes (``rd_sh``/``rd_ex`` tell
+    the controller whether another cache answered the fill -- the
+    shared-line signal that picks S over E) and snooped bus traffic
+    (``snp_rd``/``snp_wr``).  Outputs are the bus actions the
+    controller drives: fills, upgrades, flushes, invalidation acks.
+    """
+    m = MealyMachine("I", name="mesi")
+    edges = {
+        # state   rd_sh          rd_ex           wr
+        "I": (("S", "bus_rd"), ("E", "bus_rd"), ("M", "bus_rdx")),
+        "S": (("S", "hit"), ("S", "hit"), ("M", "bus_upgr")),
+        "E": (("E", "hit"), ("E", "hit"), ("M", "silent_upgr")),
+        "M": (("M", "hit"), ("M", "hit"), ("M", "hit")),
+    }
+    snoops = {
+        # state   snp_rd           snp_wr
+        "I": (("I", "idle"), ("I", "idle")),
+        "S": (("S", "share"), ("I", "inval_ack")),
+        "E": (("S", "share"), ("I", "inval_ack")),
+        "M": (("S", "flush"), ("I", "flush_inval")),
+    }
+    for state, moves in edges.items():
+        for inp, (dst, out) in zip(("rd_sh", "rd_ex", "wr"), moves):
+            m.add_transition(state, inp, out, dst)
+    for state, moves in snoops.items():
+        for inp, (dst, out) in zip(("snp_rd", "snp_wr"), moves):
+            m.add_transition(state, inp, out, dst)
+    return m
+
+
+def tcp_handshake() -> MealyMachine:
+    """A TCP-style endpoint: three-way handshake plus teardown.
+
+    ``open``/``close`` are application calls; ``syn``/``synack``/
+    ``ack``/``fin``/``rst`` are segments from the peer.  The machine
+    covers active open (closed -> syn_sent -> established), passive
+    open (closed -> syn_rcvd -> established), simultaneous open
+    (syn_sent -> syn_rcvd), and both close directions; ``rst`` from
+    any synchronized state tears the connection down.  TIME_WAIT and
+    the two FIN_WAIT sub-states are collapsed -- the handshake shape,
+    not the timer machinery, is what the corpus needs.
+    """
+    m = MealyMachine("closed", name="tcp-handshake")
+    alphabet = ("open", "close", "syn", "synack", "ack", "fin", "rst")
+    table = {
+        "closed": {
+            "open": ("SYN", "syn_sent"),
+            "syn": ("SYNACK", "syn_rcvd"),
+            "synack": ("RST", "closed"),
+            "ack": ("RST", "closed"),
+            "fin": ("RST", "closed"),
+        },
+        "syn_sent": {
+            "synack": ("ACK", "established"),
+            "syn": ("SYNACK", "syn_rcvd"),
+            "close": ("drop", "closed"),
+            "rst": ("drop", "closed"),
+        },
+        "syn_rcvd": {
+            "ack": ("connected", "established"),
+            "syn": ("SYNACK", "syn_rcvd"),
+            "close": ("FIN", "fin_wait"),
+            "rst": ("drop", "closed"),
+        },
+        "established": {
+            "close": ("FIN", "fin_wait"),
+            "fin": ("ACK", "close_wait"),
+            "rst": ("drop", "closed"),
+        },
+        "fin_wait": {
+            "fin": ("ACK", "closed"),
+            "rst": ("drop", "closed"),
+        },
+        "close_wait": {
+            "close": ("FIN", "closed"),
+            "fin": ("ACK", "close_wait"),
+            "rst": ("drop", "closed"),
+        },
+    }
+    for state, moves in table.items():
+        for inp in alphabet:
+            out, dst = moves.get(inp, ("drop", state))
+            m.add_transition(state, inp, out, dst)
+    return m
+
+
+#: The protocol-class additions to the canonical model zoo, by the
+#: CLI/service target names they register under (see
+#: :data:`repro.models.CANONICAL_MODELS`).
+PROTOCOL_MODELS = {
+    "i2c-master": i2c_master,
+    "i2c-slave": i2c_slave,
+    "mesi": mesi_cache,
+    "tcp": tcp_handshake,
+}

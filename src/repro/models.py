@@ -12,6 +12,7 @@ from typing import Tuple
 
 from .core.errors import TransferError
 from .core.mealy import MealyMachine
+from .corpus.protocols import PROTOCOL_MODELS
 
 
 def figure2_fragment() -> Tuple[MealyMachine, TransferError]:
@@ -210,6 +211,9 @@ CANONICAL_MODELS = {
     "figure2": lambda: figure2_fragment()[0],
     "counter": counter,
     "shiftreg": shift_register,
+    # Protocol-class models (see repro.corpus.protocols): the bus,
+    # coherence and handshake controllers of the benchmark frontier.
+    **PROTOCOL_MODELS,
 }
 
 

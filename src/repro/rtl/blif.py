@@ -158,16 +158,24 @@ def from_blif(
 
     Supports the subset :func:`to_blif` writes plus the common SIS
     idioms: ``.model/.inputs/.outputs/.latch/.names/.end``, ``\\``
-    line continuations, ``#`` comments, ``-`` don't-cares in cover
-    rows.  ``.names`` covers must be on-set covers (rows ending in
-    ``1``); intermediate nets are inlined by substitution, so the
-    resulting netlist contains only primary inputs and registers.
-    Malformed text raises :class:`BlifError` with the file path (when
-    given) and line number.
+    line continuations (including at end-of-file), ``#`` comments,
+    ``-`` don't-cares in cover rows, multiple ``.inputs``/``.outputs``
+    lines (concatenated, duplicates rejected), and the full ``.latch``
+    init-value alphabet (``0``/``1`` concrete; ``2`` don't-care and
+    ``3`` unknown both pin to 0 -- simulation needs a concrete start
+    state, and 0 is the deterministic choice).  ``.names`` covers must
+    be on-set covers (rows ending in ``1``); intermediate nets are
+    inlined by substitution, so the resulting netlist contains only
+    primary inputs and registers.  Malformed or empty text raises
+    :class:`BlifError` with the file path (when given) and line
+    number.
     """
     model_name: Optional[str] = None
     inputs: List[str] = []
     outputs: List[str] = []
+    # name -> declaring line, for duplicate detection.
+    input_lines: Dict[str, int] = {}
+    output_lines: Dict[str, int] = {}
     # reg -> (driving net, init value, line)
     latches: Dict[str, Tuple[str, bool, int]] = {}
     covers: Dict[str, _Cover] = {}
@@ -177,7 +185,10 @@ def from_blif(
     def fail(message: str, line: int) -> "BlifError":
         return BlifError(message, path=path, line=line)
 
-    for line_no, line in _logical_lines(text):
+    logical = _logical_lines(text)
+    if not logical:
+        raise fail("empty BLIF text (no statements)", 1)
+    for line_no, line in logical:
         if seen_end:
             raise fail(f"text after .end: {line!r}", line_no)
         if not line.startswith("."):
@@ -222,8 +233,22 @@ def from_blif(
                 )
             model_name = args[0]
         elif keyword == ".inputs":
+            for net in args:
+                if net in input_lines:
+                    raise fail(
+                        f"input {net!r} declared twice (first on line "
+                        f"{input_lines[net]})", line_no
+                    )
+                input_lines[net] = line_no
             inputs.extend(args)
         elif keyword == ".outputs":
+            for net in args:
+                if net in output_lines:
+                    raise fail(
+                        f"output {net!r} declared twice (first on line "
+                        f"{output_lines[net]})", line_no
+                    )
+                output_lines[net] = line_no
             outputs.extend(args)
         elif keyword == ".latch":
             # .latch <input> <output> [<type> <control>] [<init>]
@@ -233,10 +258,16 @@ def from_blif(
             init_token = "0"
             if len(args) in (3, 5):
                 init_token = args[-1]
+            if init_token in ("2", "3"):
+                # BLIF's don't-care (2) and unknown (3) initial
+                # values: simulation needs a concrete start state, so
+                # both pin to 0 -- the deterministic choice every
+                # reader of this corpus gets identically.
+                init_token = "0"
             if init_token not in ("0", "1"):
                 raise fail(
-                    f"latch {reg!r} needs a concrete init value (0 or "
-                    f"1), got {init_token!r}", line_no
+                    f"latch {reg!r} needs an init value in 0/1/2/3, "
+                    f"got {init_token!r}", line_no
                 )
             if reg in latches:
                 raise fail(f"latch {reg!r} defined twice", line_no)

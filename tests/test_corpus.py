@@ -1,0 +1,241 @@
+"""The corpus loader and the Mealy -> netlist synthesis bridge.
+
+The loader must classify anything a benchmark directory can contain
+(FSM tables, sequential and combinational netlists, garbage) without
+aborting the scan; the synthesizer must be a faithful inverse of FSM
+extraction (netlist -> FSM -> netlist round-trips behaviourally).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.kiss import to_kiss
+from repro.corpus import (
+    CorpusError,
+    PROTOCOL_MODELS,
+    classify_file,
+    load_corpus,
+    machine_to_netlist,
+    suite_vectors,
+)
+from repro.corpus.synth import merge_netlists
+from repro.models import traffic_light
+from repro.rtl.blif import to_blif
+from repro.rtl.extract import extract_mealy
+from repro.tour import FaultDomain, generate_suite, transition_tour
+
+BUNDLED = Path(__file__).resolve().parent.parent / "examples" / "corpus"
+
+
+class TestBundledCorpus:
+    def test_scan_is_deterministic_and_fully_runnable(self):
+        entries = load_corpus(str(BUNDLED))
+        assert [e.name for e in entries] == [
+            "gray2", "handshake", "quad", "toggle", "turnstile",
+        ]
+        for entry in entries:
+            assert entry.runnable, entry.describe()
+            # Every bundled circuit satisfies the complete-suite
+            # preconditions: W/Wp/HSI must apply to the whole corpus.
+            assert entry.machine.is_complete()
+            assert entry.machine.is_strongly_connected()
+
+    def test_stats_cover_both_views(self):
+        entries = {e.name: e for e in load_corpus(str(BUNDLED))}
+        assert entries["turnstile"].kind == "fsm"
+        assert entries["turnstile"].stats["states"] == 2
+        # Don't-care rows expand: 2 bits -> 4 input symbols.
+        assert entries["turnstile"].stats["inputs"] == 4
+        assert entries["gray2"].kind == "netlist"
+        assert entries["gray2"].stats["latches"] == 2
+        assert entries["gray2"].stats["states"] == 4
+
+    def test_manifest_drives_order_and_names(self, tmp_path):
+        manifest = {
+            "circuits": [
+                {"file": str(BUNDLED / "toggle.blif"), "name": "zz"},
+                {"file": str(BUNDLED / "quad.kiss")},
+            ]
+        }
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(manifest))
+        entries = load_corpus(str(path))
+        assert [e.name for e in entries] == ["zz", "quad"]
+
+
+class TestScanTotality:
+    def test_rotten_file_becomes_an_error_entry(self, tmp_path):
+        (tmp_path / "bad.kiss").write_text("junk junk junk junk junk\n")
+        (tmp_path / "good.kiss").write_text(
+            to_kiss(traffic_light()).text
+        )
+        entries = load_corpus(str(tmp_path))
+        by_name = {e.name: e for e in entries}
+        assert not by_name["bad"].runnable
+        assert "parse error" in by_name["bad"].error
+        assert by_name["good"].runnable
+
+    def test_strict_raises_instead(self, tmp_path):
+        (tmp_path / "bad.kiss").write_text("junk junk junk junk junk\n")
+        with pytest.raises(CorpusError, match="parse error"):
+            load_corpus(str(tmp_path), strict=True)
+
+    def test_combinational_netlist_is_classified_not_run(self, tmp_path):
+        (tmp_path / "comb.blif").write_text(
+            ".model comb\n.inputs a b\n.outputs y\n"
+            ".names a b y\n11 1\n.end\n"
+        )
+        entry = load_corpus(str(tmp_path))[0]
+        assert entry.kind == "comb"
+        assert not entry.runnable
+        assert "combinational" in entry.error
+
+    def test_extraction_budget_is_an_error_entry(self, tmp_path):
+        (tmp_path / "gray2.blif").write_text(
+            (BUNDLED / "gray2.blif").read_text()
+        )
+        entry = load_corpus(str(tmp_path), max_states=2)[0]
+        assert not entry.runnable
+        assert "extraction aborted" in entry.error
+
+    def test_unconnected_machine_is_flagged(self, tmp_path):
+        # s1 has no path back to s0: tours cannot exist.
+        (tmp_path / "oneway.kiss").write_text(
+            ".i 1\n.o 1\n.r s0\n"
+            "0 s0 s1 0\n1 s0 s1 0\n"
+            "0 s1 s1 0\n1 s1 s1 1\n.e\n"
+        )
+        entry = load_corpus(str(tmp_path))[0]
+        assert not entry.runnable
+        assert "not strongly connected" in entry.error
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        text = to_kiss(traffic_light()).text
+        (tmp_path / "a.kiss").write_text(text)
+        (tmp_path / "b.kiss").write_text(text)
+        manifest = {
+            "circuits": [
+                {"file": "a.kiss", "name": "same"},
+                {"file": "b.kiss", "name": "same"},
+            ]
+        }
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(CorpusError, match="duplicate circuit name"):
+            load_corpus(str(tmp_path))
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(CorpusError, match="no .*circuits"):
+            load_corpus(str(tmp_path))
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        (tmp_path / "x.v").write_text("module x; endmodule\n")
+        with pytest.raises(CorpusError, match="unknown circuit format"):
+            classify_file(str(tmp_path / "x.v"))
+
+
+@pytest.mark.parametrize("name", sorted(PROTOCOL_MODELS))
+class TestSynthRoundTrip:
+    def test_extraction_inverts_synthesis(self, name):
+        machine = PROTOCOL_MODELS[name]()
+        synth = machine_to_netlist(machine)
+        extracted = extract_mealy(synth.netlist, name=name + "-x")
+        assert len(extracted) == len(machine)
+        # Differential along the densest behaviour we have: the full
+        # transition tour, decoded through the synthesis tables.
+        tour = transition_tour(machine)
+        want = machine.output_sequence(tour.inputs)
+        driven = [
+            tuple(sorted(synth.encode_input(sym).items()))
+            for sym in tour.inputs
+        ]
+        got = extracted.output_sequence(driven)
+        out_width = len(
+            [n for n in synth.netlist.output_names]
+        )
+        for want_sym, got_assign in zip(want, got):
+            code = synth.output_codes[want_sym]
+            expect = {
+                f"out{i}": bool((code >> i) & 1)
+                for i in range(out_width)
+            }
+            assert dict(got_assign) == expect
+
+    def test_blif_round_trip_through_the_loader(self, name, tmp_path):
+        machine = PROTOCOL_MODELS[name]()
+        synth = machine_to_netlist(machine, name=name)
+        (tmp_path / f"{name}.blif").write_text(to_blif(synth.netlist))
+        entry = load_corpus(str(tmp_path))[0]
+        assert entry.runnable, entry.describe()
+        assert len(entry.machine) == len(machine)
+
+
+class TestSuiteVectors:
+    def test_reset_separates_every_case(self):
+        machine = PROTOCOL_MODELS["mesi"]()
+        synth = machine_to_netlist(machine, reset_input="rst")
+        suite = generate_suite(
+            machine, "wp", FaultDomain(extra_states=0)
+        )
+        vectors = suite_vectors(synth, suite.sequences)
+        resets = [i for i, v in enumerate(vectors) if v["rst"]]
+        assert len(resets) == suite.num_sequences
+        assert resets[0] == 0
+        total = suite.num_sequences + sum(
+            len(s) for s in suite.sequences
+        )
+        assert len(vectors) == total
+
+    def test_synth_requires_completeness(self):
+        from repro.core.mealy import MealyMachine
+
+        partial = MealyMachine("a", name="partial")
+        partial.add_transition("a", "x", 0, "a")
+        partial.add_state("b")
+        partial.add_transition("b", "x", 1, "a")
+        partial.add_transition("a", "y", 0, "b")
+        with pytest.raises(ValueError, match="input-complete"):
+            machine_to_netlist(partial)
+
+
+class TestMergeNetlists:
+    def test_blocks_simulate_independently(self):
+        a = machine_to_netlist(
+            PROTOCOL_MODELS["mesi"](), reset_input="rst"
+        )
+        b = machine_to_netlist(
+            PROTOCOL_MODELS["tcp"](), reset_input="rst"
+        )
+        farm = merge_netlists(
+            [("m_", a.netlist), ("t_", b.netlist)], name="farm"
+        )
+        assert farm.latch_count() == (
+            a.netlist.latch_count() + b.netlist.latch_count()
+        )
+        # Drive block A with a walk while B idles; B's outputs must
+        # match its own zero-input run, A's must match A's solo run.
+        walk = [a.encode_input(s) for s in sorted(a.input_codes)[:4]]
+        idle_b = [{n: False for n in b.netlist.inputs}] * len(walk)
+        merged_stim = [
+            {
+                **{"m_" + k: v for k, v in va.items()},
+                **{"t_" + k: v for k, v in vb.items()},
+            }
+            for va, vb in zip(walk, idle_b)
+        ]
+        solo_a, _ = a.netlist.run(walk)
+        solo_b, _ = b.netlist.run(idle_b)
+        merged, _ = farm.run(merged_stim)
+        for t in range(len(walk)):
+            for out, value in solo_a[t].items():
+                assert merged[t]["m_" + out] == value
+            for out, value in solo_b[t].items():
+                assert merged[t]["t_" + out] == value
+
+    def test_name_collisions_are_rejected(self):
+        a = machine_to_netlist(PROTOCOL_MODELS["mesi"]())
+        with pytest.raises(Exception):
+            merge_netlists(
+                [("x_", a.netlist), ("x_", a.netlist)]
+            )

@@ -100,7 +100,8 @@ class TestBlifValidation:
 
     @pytest.mark.parametrize("text, fragment, line", [
         (".model a\n.model b\n.end", "multiple .model", 2),
-        (".inputs a\n.latch a q re clk 3\n.end", "concrete init", 2),
+        (".inputs a\n.latch a q re clk x\n.end", "init value in 0/1/2/3", 2),
+        (".inputs a\n.latch a q 4\n.end", "init value in 0/1/2/3", 2),
         (".inputs a\n.latch a\n.end", "bad .latch", 2),
         (".inputs a\n.latch a q\n.latch a q\n.end",
          "defined twice", 3),
@@ -115,12 +116,69 @@ class TestBlifValidation:
         (".inputs a\n.outputs y\n.end", "never driven", 1),
         (".inputs a\n.latch a a re clk 0\n.end",
          "both an input and a latch output", 2),
+        (".inputs a b\n.inputs a\n.end",
+         "input 'a' declared twice (first on line 1)", 2),
+        (".inputs a a\n.end",
+         "input 'a' declared twice (first on line 1)", 1),
+        (".outputs y\n.outputs z y\n.end",
+         "output 'y' declared twice (first on line 1)", 2),
     ])
     def test_malformed_text(self, text, fragment, line):
         with pytest.raises(BlifError) as excinfo:
             from_blif(text, path="m.blif")
         assert fragment in str(excinfo.value)
         assert f"m.blif, line {line}:" in str(excinfo.value)
+
+    @pytest.mark.parametrize("text", [
+        "",
+        "\n\n\n",
+        "# only a comment\n",
+        "# comment\n   \n# another\n",
+    ], ids=["empty", "blank-lines", "comment", "comments-and-blanks"])
+    def test_empty_text_is_an_error(self, text):
+        with pytest.raises(BlifError, match="empty BLIF text"):
+            from_blif(text, path="m.blif")
+
+    @pytest.mark.parametrize("init_token, args", [
+        ("2", "t_next t 2"),
+        ("3", "t_next t 3"),
+        ("2", "t_next t re clk 2"),
+        ("3", "t_next t re clk 3"),
+    ], ids=["dc-3arg", "unk-3arg", "dc-5arg", "unk-5arg"])
+    def test_dont_care_init_pins_to_zero(self, init_token, args):
+        # BLIF allows don't-care (2) and unknown (3) initial values;
+        # the reader pins both to 0 so every consumer of a corpus
+        # circuit sees the same reset state.
+        text = (
+            ".model t\n.inputs en\n.outputs q\n"
+            f".latch {args}\n"
+            ".names en t t_next\n10 1\n01 1\n"
+            ".names t q\n1 1\n.end\n"
+        )
+        net = from_blif(text)
+        assert net.reset_state() == {"t": False}
+
+    def test_multiple_output_lines_concatenate(self):
+        text = (
+            ".model t\n.inputs a b\n"
+            ".outputs y\n.outputs z\n"
+            ".names a y\n1 1\n"
+            ".names b z\n1 1\n.end\n"
+        )
+        net = from_blif(text)
+        assert net.output_names == ("y", "z")
+
+    def test_continuation_at_end_of_file(self):
+        # A trailing '\' with nothing after it must still yield the
+        # pending logical line instead of dropping it.
+        text = (
+            ".model t\n.inputs a\n.outputs y\n"
+            ".names a y\n1 1\n"
+            ".end \\"
+        )
+        net = from_blif(text)
+        outs, _state = net.run([{"a": True}])
+        assert outs[0]["y"] is True
 
     def test_combinational_cycle_named_in_error(self):
         text = (
